@@ -1,0 +1,119 @@
+// Ablation A: what does the Section 3 tracking machinery itself cost?
+//
+// The paper argues the runtime overhead of maintaining nmod / last_mod and
+// checking the three conditions is "likely to be small" because it is paid
+// once per loop, not per element. This bench measures
+//   (1) the host cost of one reuse-guard check (hit and miss paths),
+//   (2) pipeline totals when the indirection array is invalidated every k-th
+//       iteration — sweeping the spectrum between Table 1's two extremes.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/reuse.hpp"
+
+namespace bench = chaos::bench;
+namespace core = chaos::core;
+namespace dist = chaos::dist;
+namespace rt = chaos::rt;
+using chaos::f64;
+using chaos::i64;
+
+namespace {
+
+/// Hand pipeline where the indirection arrays are marked modified every
+/// @p invalidate_every iterations (0 = never).
+f64 run_with_invalidation(int procs, const bench::Workload& w,
+                          int invalidate_every) {
+  f64 total = 0.0;
+  rt::Machine machine(procs);
+  machine.run([&](rt::Process& p) {
+    auto reg = dist::Distribution::block(p, w.nnodes);
+    auto reg2 = dist::Distribution::block(p, w.nedges);
+    dist::DistributedArray<f64> x(p, reg), y(p, reg, 0.0);
+    x.fill_by_global([](i64 g) { return static_cast<f64>(g % 7); });
+    std::vector<i64> e1, e2;
+    for (i64 l = 0; l < reg2->my_local_size(); ++l) {
+      const i64 e = reg2->global_of(p.rank(), l);
+      e1.push_back(w.e1[static_cast<std::size_t>(e)]);
+      e2.push_back(w.e2[static_cast<std::size_t>(e)]);
+    }
+
+    core::ReuseRegistry registry;
+    core::InspectorCache cache;
+    registry.note_write(reg2->dad());
+    const chaos::u64 loop_id = 42;
+
+    rt::ClockSection section(p.clock());
+    for (int it = 0; it < 100; ++it) {
+      if (invalidate_every > 0 && it > 0 && it % invalidate_every == 0) {
+        // "an array intrinsic may have written to the indirection array"
+        registry.note_write(reg2->dad());
+      }
+      auto plan = cache.get_or_build<core::EdgeLoopPlan>(
+          loop_id, registry, {x.dad(), y.dad()}, {reg2->dad()}, [&] {
+            return core::EdgeReductionLoop::inspect(p, *reg2, e1, e2, *reg);
+          });
+      core::EdgeReductionLoop::execute(
+          p, *plan, x, y, [](f64 a, f64 b) { return a + b; },
+          [](f64 a, f64 b) { return a - b; }, w.flops_per_edge);
+    }
+    const f64 t = rt::allreduce_max(p, section.elapsed_sec());
+    if (p.is_root()) total = t;
+  });
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A: cost of the schedule-reuse machinery itself\n\n");
+
+  // (1) Microcost of the guard check, measured on the host.
+  {
+    core::ReuseRegistry reg;
+    core::InspectorCache cache;
+    const dist::Dad data{dist::DistKind::Irregular, 53428, 32, 0, 1};
+    const dist::Dad ind{dist::DistKind::Block, 371000, 32, 11594, 2};
+    reg.note_write(ind);
+    auto product = cache.get_or_build<int>(1, reg, {data, data}, {ind}, [] {
+      return std::make_shared<int>(0);
+    });
+    (void)product;
+    constexpr int kChecks = 1000000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kChecks; ++i) {
+      auto r = cache.get_or_build<int>(1, reg, {data, data}, {ind}, [] {
+        return std::make_shared<int>(0);
+      });
+      (void)r;
+    }
+    const f64 ns = std::chrono::duration<f64, std::nano>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count() /
+                   kChecks;
+    std::printf("guard check (hit path):   %7.1f ns per FORALL encounter\n",
+                ns);
+    std::printf("  -> once per loop, not per element: negligible next to any "
+                "executor sweep (paper's claim).\n\n");
+  }
+
+  // (2) Invalidation-frequency sweep on the 10K mesh at 8 processors.
+  const auto w = bench::workload_mesh_10k();
+  std::printf("invalidation sweep, 10K mesh @ 8 procs, 100 iterations "
+              "(modeled seconds):\n");
+  std::printf("%-28s %12s %12s\n", "indirection modified", "total (s)",
+              "vs never");
+  const f64 never = run_with_invalidation(8, w, 0);
+  std::printf("%-28s %12.2f %12s\n", "never (full reuse)", never, "1.00x");
+  for (int k : {50, 10, 5, 2, 1}) {
+    const f64 t = run_with_invalidation(8, w, k);
+    std::printf("%-28s %12.2f %11.2fx\n",
+                ("every " + std::to_string(k) + " iterations").c_str(), t,
+                t / never);
+    std::fflush(stdout);
+  }
+  std::printf("\nshape check: cost interpolates smoothly between Table 1's "
+              "reuse and no-reuse extremes; tracking itself adds ~nothing.\n");
+  return 0;
+}

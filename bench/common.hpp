@@ -1,0 +1,85 @@
+// Shared bench harness: workload construction, the hand-coded pipeline (the
+// paper's "hand embedded" runtime calls), the compiler pipeline (through the
+// chaos_lang front end), and paper-style table printing. All times reported
+// are modeled virtual seconds on the simulated iPSC/860 (max over
+// processes); see DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/forall.hpp"
+#include "core/mapper.hpp"
+#include "core/reuse.hpp"
+#include "lang/interp.hpp"
+#include "lang/parser.hpp"
+#include "rt/collectives.hpp"
+#include "workload/md.hpp"
+#include "workload/mesh.hpp"
+
+namespace chaos::bench {
+
+struct Workload {
+  std::string name;
+  i64 nnodes = 0;
+  i64 nedges = 0;
+  std::vector<i64> e1, e2;      // 0-based endpoint ids
+  std::vector<f64> cx, cy, cz;  // node coordinates
+  f64 flops_per_edge = 30.0;
+};
+
+[[nodiscard]] Workload workload_mesh_10k();
+[[nodiscard]] Workload workload_mesh_53k();
+[[nodiscard]] Workload workload_md_648();
+[[nodiscard]] Workload workload_mesh_tiny();
+
+struct PipelineConfig {
+  /// Partitioner registry name, or "HPF-BLOCK" for the paper's naive
+  /// baseline (keep the initial BLOCK distribution; no GeoCoL, no remap of
+  /// the data arrays).
+  std::string partitioner = "RCB";
+  int iterations = 100;
+  bool schedule_reuse = true;
+  core::IterRule iter_rule = core::IterRule::MostLocalReferences;
+  i64 ttable_page_size = 4096;
+  bool ttable_replicated = false;
+};
+
+struct PhaseResult {
+  f64 graph_gen = 0.0;
+  f64 partitioner = 0.0;
+  f64 inspector = 0.0;
+  f64 remap = 0.0;
+  f64 executor = 0.0;
+  f64 wall_seconds = 0.0;   ///< host wall clock of the whole pipeline
+  i64 gather_messages = 0;  ///< machine-total messages per executor sweep
+  i64 gather_volume = 0;    ///< machine-total off-process words per sweep
+
+  [[nodiscard]] f64 total() const {
+    return graph_gen + partitioner + inspector + remap + executor;
+  }
+};
+
+/// The hand-coded path: direct CHAOS runtime calls, phases timed separately
+/// (partition_iterations + indirection remap count as "remap"; localize as
+/// "inspector" — matching the paper's row labels).
+[[nodiscard]] PhaseResult run_hand_pipeline(int procs, const Workload& w,
+                                            const PipelineConfig& cfg);
+
+/// The compiler path: the same pipeline expressed as a mini-Fortran-90D
+/// program executed by chaos_lang (Figure 4 + DO timestep loop).
+[[nodiscard]] PhaseResult run_compiler_pipeline(int procs, const Workload& w,
+                                                const PipelineConfig& cfg);
+
+// --- table printing ---------------------------------------------------------
+
+/// Prints one table row: label then (measured, paper) column pairs.
+void print_header(const std::string& title,
+                  const std::vector<std::string>& columns);
+void print_row(const std::string& label, const std::vector<f64>& measured,
+               const std::vector<f64>& paper);
+void print_footer();
+
+}  // namespace chaos::bench

@@ -1,0 +1,90 @@
+// Table 3 of the paper: compiler-linked coordinate bisection (RCB)
+// partitioner with schedule reuse — per-phase breakdown (partitioner,
+// inspector, remap, executor x100, total) across all workload/processor
+// configurations.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace bench = chaos::bench;
+using chaos::f64;
+
+namespace {
+
+// Paper values; -1 marks entries illegible in the scanned table (the totals
+// and the surrounding rows constrain them; see EXPERIMENTS.md).
+struct PaperColumn {
+  f64 partitioner, inspector, remap, executor, total;
+};
+
+void run_workload(const bench::Workload& w, const int (&procs)[3],
+                  const PaperColumn (&paper)[3]) {
+  std::vector<std::string> headers;
+  std::vector<bench::PhaseResult> results;
+  for (int k = 0; k < 3; ++k) {
+    bench::PipelineConfig cfg;
+    cfg.partitioner = "RCB";
+    cfg.iterations = 100;
+    cfg.schedule_reuse = true;
+    results.push_back(bench::run_hand_pipeline(procs[k], w, cfg));
+    headers.push_back("P=" + std::to_string(procs[k]));
+  }
+  bench::print_header("Table 3 — " + w.name + " (RCB + schedule reuse)",
+                      headers);
+  auto row = [&](const char* label, auto measure, auto paperv) {
+    std::vector<f64> m, pv;
+    for (int k = 0; k < 3; ++k) {
+      m.push_back(measure(results[static_cast<std::size_t>(k)]));
+      pv.push_back(paperv(paper[k]));
+    }
+    bench::print_row(label, m, pv);
+  };
+  row("Partitioner",
+      [](const bench::PhaseResult& r) { return r.partitioner + r.graph_gen; },
+      [](const PaperColumn& c) { return c.partitioner; });
+  row("Inspector",
+      [](const bench::PhaseResult& r) { return r.inspector; },
+      [](const PaperColumn& c) { return c.inspector; });
+  row("Remap", [](const bench::PhaseResult& r) { return r.remap; },
+      [](const PaperColumn& c) { return c.remap; });
+  row("Executor (100x)",
+      [](const bench::PhaseResult& r) { return r.executor; },
+      [](const PaperColumn& c) { return c.executor; });
+  row("Total", [](const bench::PhaseResult& r) { return r.total(); },
+      [](const PaperColumn& c) { return c.total; });
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 3: compiler-linked coordinate bisection with schedule "
+              "reuse\n");
+
+  const auto mesh10k = bench::workload_mesh_10k();
+  const int p10k[3] = {4, 8, 16};
+  const PaperColumn paper10k[3] = {{0.6, 1.2, 3.1, 12.7, 17.6},
+                                   {0.6, 0.6, 1.6, 7.0, 10.8},
+                                   {0.4, 0.4, 0.9, 6.0, 7.7}};
+  run_workload(mesh10k, p10k, paper10k);
+
+  const auto mesh53k = bench::workload_mesh_53k();
+  const int p53k[3] = {16, 32, 64};
+  const PaperColumn paper53k[3] = {{1.8, 2.0, 5.1, 21.5, 30.4},
+                                   {1.6, 1.9, 3.0, 17.2, 23.0},
+                                   {2.5, 0.7, 1.9, 12.3, 17.4}};
+  run_workload(mesh53k, p53k, paper53k);
+
+  const auto md = bench::workload_md_648();
+  const int pmd[3] = {4, 8, 16};
+  const PaperColumn papermd[3] = {{0.1, 2.2, 4.8, 8.1, 15.2},
+                                  {0.1, 1.2, 2.6, 5.8, 9.7},
+                                  {0.1, 0.7, 1.5, 5.7, 8.0}};
+  run_workload(md, pmd, papermd);
+
+  std::printf("\nshape check (paper): executor dominates the total; "
+              "partitioner cost is small and roughly flat in P; inspector "
+              "and remap shrink with P.\n");
+  bench::print_footer();
+  return 0;
+}

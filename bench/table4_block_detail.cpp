@@ -1,0 +1,84 @@
+// Table 4 of the paper: naive BLOCK (HPF) partitioning with schedule reuse —
+// per-phase breakdown. The point of the table: with contiguous blocks of an
+// irregularly numbered mesh, the executor pays 2-3x more communication than
+// with RCB/RSB (compare Table 3), which is the paper's case for irregular
+// distributions.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace bench = chaos::bench;
+using chaos::f64;
+
+namespace {
+
+struct PaperColumn {
+  f64 inspector, remap, executor, total;
+};
+
+void run_workload(const bench::Workload& w, const int (&procs)[3],
+                  const PaperColumn (&paper)[3]) {
+  std::vector<std::string> headers;
+  std::vector<bench::PhaseResult> results;
+  for (int k = 0; k < 3; ++k) {
+    bench::PipelineConfig cfg;
+    cfg.partitioner = "HPF-BLOCK";
+    cfg.iterations = 100;
+    cfg.schedule_reuse = true;
+    results.push_back(bench::run_hand_pipeline(procs[k], w, cfg));
+    headers.push_back("P=" + std::to_string(procs[k]));
+  }
+  bench::print_header("Table 4 — " + w.name + " (BLOCK + schedule reuse)",
+                      headers);
+  auto row = [&](const char* label, auto measure, auto paperv) {
+    std::vector<f64> m, pv;
+    for (int k = 0; k < 3; ++k) {
+      m.push_back(measure(results[static_cast<std::size_t>(k)]));
+      pv.push_back(paperv(paper[k]));
+    }
+    bench::print_row(label, m, pv);
+  };
+  row("Inspector", [](const bench::PhaseResult& r) { return r.inspector; },
+      [](const PaperColumn& c) { return c.inspector; });
+  row("Remap", [](const bench::PhaseResult& r) { return r.remap; },
+      [](const PaperColumn& c) { return c.remap; });
+  row("Executor (100x)",
+      [](const bench::PhaseResult& r) { return r.executor; },
+      [](const PaperColumn& c) { return c.executor; });
+  row("Total", [](const bench::PhaseResult& r) { return r.total(); },
+      [](const PaperColumn& c) { return c.total; });
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 4: BLOCK partitioning with schedule reuse\n");
+
+  const auto mesh10k = bench::workload_mesh_10k();
+  const int p10k[3] = {4, 8, 16};
+  const PaperColumn paper10k[3] = {{1.5, 3.1, 26.0, 30.4},
+                                   {0.9, 1.6, 20.8, 23.3},
+                                   {0.5, 0.8, 14.7, 16.0}};
+  run_workload(mesh10k, p10k, paper10k);
+
+  const auto mesh53k = bench::workload_mesh_53k();
+  const int p53k[3] = {16, 32, 64};
+  const PaperColumn paper53k[3] = {{3.9, 4.9, 74.1, 82.9},
+                                   {1.9, 2.8, 54.7, 59.4},
+                                   {1.0, 1.7, 35.3, 38.0}};
+  run_workload(mesh53k, p53k, paper53k);
+
+  const auto md = bench::workload_md_648();
+  const int pmd[3] = {4, 8, 16};
+  const PaperColumn papermd[3] = {{2.7, 4.5, 10.3, 17.5},
+                                  {1.5, 2.6, 7.6, 11.7},
+                                  {0.8, 1.5, 7.3, 9.6}};
+  run_workload(md, pmd, papermd);
+
+  std::printf("\nshape check (paper): BLOCK executor is 2-3x slower than "
+              "RCB's (Table 3) on the meshes; totals 38-83s vs 17-30s on the "
+              "53K mesh.\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Adaptive-mesh scenario: the reason Section 3's conservative tracking
+// exists. An adaptive CFD solver sweeps its edge list every time step, but
+// occasionally ADAPTS the mesh (the edge list changes). Schedules must be
+// reused across the unchanged steps and rebuilt — automatically — after
+// every adaptation. This example runs 30 time steps with an adaptation every
+// 10, and prints the inspector hit/miss ledger plus the virtual-time savings.
+//
+// Usage: ./examples/adaptive_mesh [procs]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/forall.hpp"
+#include "core/mapper.hpp"
+#include "core/reuse.hpp"
+#include "rt/collectives.hpp"
+#include "workload/mesh.hpp"
+
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
+namespace core = chaos::core;
+namespace wl = chaos::wl;
+using chaos::f64;
+using chaos::i64;
+
+int main(int argc, char** argv) {
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 8;
+  constexpr int kSteps = 30;
+  constexpr int kAdaptEvery = 10;
+
+  // "Adaptation" = regenerating the mesh with a different jitter seed: same
+  // node count, different connectivity — exactly what refinement does to an
+  // edge list.
+  std::vector<wl::Mesh> meshes;
+  for (int a = 0; a < kSteps / kAdaptEvery; ++a) {
+    meshes.push_back(wl::make_tet_mesh(14, 14, 14, 1000 + static_cast<chaos::u64>(a)));
+  }
+  const i64 nnodes = meshes[0].nnodes;
+  const i64 nedges = meshes[0].nedges;
+  std::printf("adaptive_mesh: %lld nodes, ~%lld edges, %d procs, %d steps, "
+              "adapt every %d\n",
+              static_cast<long long>(nnodes), static_cast<long long>(nedges),
+              procs, kSteps, kAdaptEvery);
+
+  rt::Machine machine(procs);
+  machine.run([&](rt::Process& p) {
+    auto reg = dist::Distribution::block(p, nnodes);
+    auto reg2 = dist::Distribution::block(p, nedges);
+    dist::DistributedArray<f64> x(p, reg), y(p, reg, 0.0);
+    x.fill_by_global([](i64 g) { return 1.0 / (1.0 + static_cast<f64>(g)); });
+    dist::DistributedArray<i64> e1(p, reg2), e2(p, reg2);
+
+    core::ReuseRegistry registry;
+    core::InspectorCache cache;
+    const chaos::u64 loop_id = rt::collective_counter(p);
+
+    auto load_mesh = [&](const wl::Mesh& mesh) {
+      // A Fortran 90D "read" into the edge arrays: a modifying statement.
+      e1.fill_by_global([&](i64 g) {
+        return mesh.edge1[static_cast<std::size_t>(g)];
+      });
+      e2.fill_by_global([&](i64 g) {
+        return mesh.edge2[static_cast<std::size_t>(g)];
+      });
+      registry.note_write(e1.dad());  // e1 and e2 share reg2's DAD: one slot
+    };
+
+    f64 t_inspect = 0.0, t_execute = 0.0;
+    for (int step = 0; step < kSteps; ++step) {
+      if (step % kAdaptEvery == 0) {
+        load_mesh(meshes[static_cast<std::size_t>(step / kAdaptEvery)]);
+      }
+      // The guard decides whether the saved schedule is still valid.
+      rt::ClockSection ti(p.clock());
+      auto plan = cache.get_or_build<core::EdgeLoopPlan>(
+          loop_id, registry, {x.dad(), y.dad()}, {e1.dad()}, [&] {
+            std::vector<i64> s1(e1.local().begin(), e1.local().end());
+            std::vector<i64> s2(e2.local().begin(), e2.local().end());
+            return core::EdgeReductionLoop::inspect(p, *reg2, s1, s2, *reg);
+          });
+      t_inspect += ti.elapsed_sec();
+
+      rt::ClockSection te(p.clock());
+      core::EdgeReductionLoop::execute(
+          p, *plan, x, y, [](f64 a, f64 b) { return a * b; },
+          [](f64 a, f64 b) { return a - b; });
+      t_execute += te.elapsed_sec();
+    }
+
+    const f64 mi = rt::allreduce_max(p, t_inspect);
+    const f64 me = rt::allreduce_max(p, t_execute);
+    if (p.is_root()) {
+      std::printf("  inspector runs: %lld (one per adaptation), schedule "
+                  "reuses: %lld\n",
+                  static_cast<long long>(cache.stats().misses),
+                  static_cast<long long>(cache.stats().hits));
+      std::printf("  modeled time — inspectors: %.3f s, executors: %.3f s\n",
+                  mi, me);
+      std::printf("  without reuse the inspector cost would be ~%.1fx "
+                  "larger (%d runs instead of %lld)\n",
+                  static_cast<f64>(kSteps) /
+                      static_cast<f64>(cache.stats().misses),
+                  kSteps, static_cast<long long>(cache.stats().misses));
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,114 @@
+// The paper's Figure 4, verbatim: a mini-Fortran-90D program compiled and
+// executed by the chaos_lang front end. The compiler path generates exactly
+// the runtime-call sequence of Figure 6 (K1: GeoCoL generation, K2/K3:
+// partitioner invocation, K4: array remap), inserts the Section 3 schedule-
+// reuse guard around the FORALL, and reports per-phase modeled times.
+//
+// Usage: ./examples/directive_demo [procs] [partitioner]
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <string>
+
+#include "lang/interp.hpp"
+#include "lang/parser.hpp"
+#include "rt/machine.hpp"
+#include "workload/mesh.hpp"
+
+namespace rt = chaos::rt;
+namespace lang = chaos::lang;
+namespace wl = chaos::wl;
+using chaos::f64;
+using chaos::i64;
+
+void run_demo(rt::Machine& machine, const lang::Program& program,
+              const wl::Mesh& mesh, const std::vector<f64>& x0,
+              const std::vector<i64>& e1, const std::vector<i64>& e2,
+              const std::string& partitioner);
+
+int main(int argc, char** argv) {
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::string partitioner = argc > 2 ? argv[2] : "RSB";
+
+  const std::string source = R"(
+C     Figure 4: implicit mapping in Fortran 90D  (SC'93 paper)
+      REAL*8 x(nnode), y(nnode)
+      INTEGER end_pt1(nedge), end_pt2(nedge)
+C$    DYNAMIC, DECOMPOSITION reg(nnode), reg2(nedge)
+C$    DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+C$    ALIGN x, y WITH reg
+C$    ALIGN end_pt1, end_pt2 WITH reg2
+C$    CONSTRUCT G (nnode, LINK(nedge, end_pt1, end_pt2))
+C$    SET distfmt BY PARTITIONING G USING )" + partitioner + R"(
+C$    REDISTRIBUTE reg(distfmt)
+C     Loop over edges involving x, y  (100 iterations, schedules reused)
+      DO step = 1, 100
+      FORALL i = 1, nedge
+        REDUCE(ADD, y(end_pt1(i)), x(end_pt1(i)) * x(end_pt2(i)))
+        REDUCE(ADD, y(end_pt2(i)), x(end_pt1(i)) - x(end_pt2(i)))
+      END FORALL
+      END DO
+)";
+
+  const wl::Mesh mesh = wl::mesh_tiny();
+  std::vector<i64> e1 = mesh.edge1, e2 = mesh.edge2;
+  for (auto& v : e1) v += 1;  // Fortran is 1-based
+  for (auto& v : e2) v += 1;
+  std::vector<f64> x0(static_cast<std::size_t>(mesh.nnodes));
+  for (i64 g = 0; g < mesh.nnodes; ++g) {
+    x0[static_cast<std::size_t>(g)] = std::cos(0.1 * static_cast<f64>(g));
+  }
+
+  std::printf("directive_demo: Figure 4 via the mini-Fortran-90D compiler\n");
+  std::printf("  mesh: %lld nodes / %lld edges, %d procs, partitioner %s\n",
+              static_cast<long long>(mesh.nnodes),
+              static_cast<long long>(mesh.nedges), procs,
+              partitioner.c_str());
+
+  const auto program = lang::compile(source);
+  rt::Machine machine(procs);
+  try {
+    run_demo(machine, program, mesh, x0, e1, e2, partitioner);
+  } catch (const chaos::ChaosError& e) {
+    std::fprintf(stderr, "directive_demo failed: %s\n", e.what());
+    std::fprintf(stderr,
+                 "(hint: this Figure 4 program only provides LINK "
+                 "connectivity — use a connectivity partitioner such as RSB "
+                 "or RSB+KL)\n");
+    return 1;
+  }
+  return 0;
+}
+
+void run_demo(rt::Machine& machine, const lang::Program& program,
+              const wl::Mesh& mesh, const std::vector<f64>& x0,
+              const std::vector<i64>& e1, const std::vector<i64>& e2,
+              const std::string& partitioner) {
+  (void)partitioner;
+  machine.run([&](rt::Process& p) {
+    lang::Instance inst(program);
+    inst.set_param("NNODE", mesh.nnodes);
+    inst.set_param("NEDGE", mesh.nedges);
+    inst.bind_real("X", x0);
+    inst.bind_int("END_PT1", e1);
+    inst.bind_int("END_PT2", e2);
+    inst.execute(p);
+
+    const auto y = inst.fetch_real(p, "Y");
+    f64 checksum = 0.0;
+    for (f64 v : y) checksum += v;
+    if (p.is_root()) {
+      const auto& ph = inst.phases();
+      std::printf("  compiler-generated pipeline, modeled times (s):\n");
+      std::printf("    graph generation : %8.4f\n", ph.graph_gen);
+      std::printf("    partitioner      : %8.4f\n", ph.partition);
+      std::printf("    remap            : %8.4f\n", ph.remap);
+      std::printf("    inspector        : %8.4f\n", ph.inspector);
+      std::printf("    executor (100x)  : %8.4f\n", ph.executor);
+      std::printf("  schedule reuse: %lld inspector run(s), %lld reuse(s)\n",
+                  static_cast<long long>(inst.cache_stats().misses),
+                  static_cast<long long>(inst.cache_stats().hits));
+      std::printf("  y checksum: %.6e\n", checksum);
+    }
+  });
+}

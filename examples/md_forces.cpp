@@ -1,0 +1,108 @@
+// Molecular-dynamics electrostatic force loop: the paper's second workload
+// (CHARMM 648-atom water simulation). The nonbonded force sweep over the
+// cutoff pair list is exactly loop L2: each pair contributes equal and
+// opposite Coulomb forces to its two atoms. Atoms are partitioned with
+// coordinate bisection; the pair list keeps its schedule until the neighbor
+// list is rebuilt — at which point the reuse guard correctly invalidates.
+//
+// Usage: ./examples/md_forces [procs] [steps]
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <vector>
+
+#include "core/forall.hpp"
+#include "core/mapper.hpp"
+#include "core/reuse.hpp"
+#include "rt/collectives.hpp"
+#include "workload/md.hpp"
+
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
+namespace core = chaos::core;
+namespace wl = chaos::wl;
+using chaos::f64;
+using chaos::i64;
+
+int main(int argc, char** argv) {
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 25;
+
+  const wl::MdSystem sys = wl::make_water_box();  // 648 atoms, 8 A cutoff
+  std::printf("md_forces: %lld atoms, %lld pairs (cutoff %.1f A), %d procs\n",
+              static_cast<long long>(sys.natoms),
+              static_cast<long long>(sys.npairs), sys.cutoff, procs);
+
+  rt::Machine machine(procs);
+  machine.run([&](rt::Process& p) {
+    auto atom_dist = dist::Distribution::block(p, sys.natoms);
+    auto pair_dist = dist::Distribution::block(p, sys.npairs);
+
+    // Per-atom data: charge-scaled coordinate potential (we fold charge and
+    // a coordinate hash into one scalar so the pair kernel stays the
+    // two-argument f/g shape of loop L2).
+    dist::DistributedArray<f64> q(p, atom_dist), fx(p, atom_dist, 0.0);
+    q.fill_by_global([&](i64 g) {
+      return sys.charge[static_cast<std::size_t>(g)] /
+             (1.0 + 0.01 * sys.x[static_cast<std::size_t>(g)]);
+    });
+
+    std::vector<i64> p1, p2;
+    for (i64 l = 0; l < pair_dist->my_local_size(); ++l) {
+      const i64 e = pair_dist->global_of(p.rank(), l);
+      p1.push_back(sys.pair1[static_cast<std::size_t>(e)]);
+      p2.push_back(sys.pair2[static_cast<std::size_t>(e)]);
+    }
+
+    // Partition atoms by their spatial position (coordinate bisection) so
+    // interacting atoms land together.
+    std::vector<f64> cx, cy, cz;
+    for (i64 l = 0; l < atom_dist->my_local_size(); ++l) {
+      const i64 g = atom_dist->global_of(p.rank(), l);
+      cx.push_back(sys.x[static_cast<std::size_t>(g)]);
+      cy.push_back(sys.y[static_cast<std::size_t>(g)]);
+      cz.push_back(sys.z[static_cast<std::size_t>(g)]);
+    }
+    core::GeoColBuilder builder(p, atom_dist);
+    const std::span<const f64> coords[] = {cx, cy, cz};
+    builder.geometry(coords);
+    auto geocol = builder.build();
+    core::ReuseRegistry registry;
+    auto distfmt = core::set_by_partitioning(p, *geocol, "RCB");
+    core::Redistributor rd(&registry);
+    rd.add(q).add(fx);
+    rd.apply(p, distfmt);
+
+    auto plan = core::EdgeReductionLoop::inspect(p, *pair_dist, p1, p2,
+                                                 *distfmt);
+
+    // The electrostatic kernel: Coulomb-like pair interaction, ~40 flops.
+    auto coulomb = [](f64 qa, f64 qb) {
+      const f64 r = 1.0 + std::abs(qa - qb);  // surrogate distance
+      return qa * qb / (r * r);
+    };
+    rt::ClockSection t_exec(p.clock());
+    for (int s = 0; s < steps; ++s) {
+      core::EdgeReductionLoop::execute(
+          p, *plan, q, fx, coulomb,
+          [&](f64 a, f64 b) { return -coulomb(a, b); }, /*flops=*/40.0);
+    }
+    const f64 exec_sec = t_exec.elapsed_sec();
+
+    const f64 total_force = rt::allreduce_sum(p, [&] {
+      f64 s = 0.0;
+      for (f64 v : fx.local()) s += v;
+      return s;
+    }());
+    if (p.is_root()) {
+      std::printf("  executor: %d sweeps over %lld pairs in %.3f virtual s\n",
+                  steps, static_cast<long long>(sys.npairs), exec_sec);
+      std::printf("  net accumulated force (antisymmetric kernel): %.3e\n",
+                  total_force);
+      std::printf("  iterations on rank 0: %lld, ghosts: %lld\n",
+                  static_cast<long long>(plan->my_iterations()),
+                  static_cast<long long>(plan->loc.schedule.nghost));
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Executor-phase data movers (Phase E of Figure 2): gather off-process
+// copies into the ghost region before a loop, and push ghost contributions
+// back to their owners after a reduction loop. All are collective and reuse
+// a CommSchedule built once by the inspector — the object whose reuse
+// Section 3 of the paper is about.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "core/schedule.hpp"
+#include "dist/darray.hpp"
+#include "rt/collectives.hpp"
+
+namespace chaos::core {
+
+/// Reduction kinds supported in FORALL left-hand sides (paper: "the only
+/// loop carried dependencies allowed are left hand side reductions").
+enum class ReduceOp : u8 { Add, Max, Min, Replace };
+
+template <typename T>
+constexpr T apply_reduce(ReduceOp op, T current, T incoming) {
+  switch (op) {
+    case ReduceOp::Add: return current + incoming;
+    case ReduceOp::Max: return incoming > current ? incoming : current;
+    case ReduceOp::Min: return incoming < current ? incoming : current;
+    case ReduceOp::Replace: return incoming;
+  }
+  return current;
+}
+
+/// Identity element so ghost accumulators start neutral.
+template <typename T>
+constexpr T reduce_identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Add: return T{};
+    case ReduceOp::Max: return std::numeric_limits<T>::lowest();
+    case ReduceOp::Min: return std::numeric_limits<T>::max();
+    case ReduceOp::Replace: return T{};
+  }
+  return T{};
+}
+
+/// Collective gather: fills @p ghost (size schedule.nghost) with copies of
+/// the off-process elements the inspector recorded, reading my owned
+/// elements from @p local for peers that requested them.
+template <typename T>
+void gather_ghosts(rt::Process& p, const CommSchedule& schedule,
+                   std::span<const T> local, std::span<T> ghost) {
+  CHAOS_CHECK(static_cast<i64>(local.size()) == schedule.nlocal_at_build,
+              "gather: schedule is stale (local size changed)");
+  CHAOS_CHECK(static_cast<i64>(ghost.size()) == schedule.nghost,
+              "gather: ghost buffer size does not match schedule");
+  std::vector<std::vector<T>> outgoing(schedule.send_local.size());
+  i64 packed = 0;
+  for (std::size_t d = 0; d < schedule.send_local.size(); ++d) {
+    outgoing[d].reserve(schedule.send_local[d].size());
+    for (i64 l : schedule.send_local[d]) {
+      outgoing[d].push_back(local[static_cast<std::size_t>(l)]);
+      ++packed;
+    }
+  }
+  auto incoming = rt::alltoallv(p, outgoing);
+  i64 slot = 0;
+  for (std::size_t s = 0; s < incoming.size(); ++s) {
+    CHAOS_CHECK(static_cast<i64>(incoming[s].size()) ==
+                    schedule.recv_counts[s],
+                "gather: peer sent unexpected element count");
+    for (const T& v : incoming[s]) {
+      ghost[static_cast<std::size_t>(slot++)] = v;
+    }
+  }
+  p.clock().charge_ops(packed + slot, p.params().mem_us_per_word);
+}
+
+/// Convenience overload operating on a DistributedArray (resizes its ghost
+/// region to fit the schedule).
+template <typename T>
+void gather_ghosts(rt::Process& p, const CommSchedule& schedule,
+                   dist::DistributedArray<T>& a) {
+  if (a.nghost() != schedule.nghost) a.resize_ghost(schedule.nghost);
+  gather_ghosts<T>(p, schedule, a.local(), a.ghost());
+}
+
+/// Collective scatter-reduce: sends each ghost slot's accumulated value back
+/// to the owner, which folds it into its local element with @p op. Used
+/// after reduction loops that wrote into ghost accumulators.
+template <typename T>
+void scatter_reduce(rt::Process& p, const CommSchedule& schedule,
+                    std::span<T> local, std::span<const T> ghost,
+                    ReduceOp op) {
+  CHAOS_CHECK(static_cast<i64>(local.size()) == schedule.nlocal_at_build,
+              "scatter: schedule is stale (local size changed)");
+  CHAOS_CHECK(static_cast<i64>(ghost.size()) == schedule.nghost,
+              "scatter: ghost buffer size does not match schedule");
+  // Reverse of gather: my ghost region, sliced by source rank, goes back.
+  std::vector<std::vector<T>> outgoing(schedule.recv_counts.size());
+  i64 slot = 0;
+  for (std::size_t s = 0; s < schedule.recv_counts.size(); ++s) {
+    outgoing[s].reserve(static_cast<std::size_t>(schedule.recv_counts[s]));
+    for (i64 k = 0; k < schedule.recv_counts[s]; ++k) {
+      outgoing[s].push_back(ghost[static_cast<std::size_t>(slot++)]);
+    }
+  }
+  auto incoming = rt::alltoallv(p, outgoing);
+  i64 applied = 0;
+  for (std::size_t d = 0; d < schedule.send_local.size(); ++d) {
+    CHAOS_CHECK(incoming[d].size() == schedule.send_local[d].size(),
+                "scatter: peer sent unexpected element count");
+    for (std::size_t k = 0; k < incoming[d].size(); ++k) {
+      T& dst = local[static_cast<std::size_t>(schedule.send_local[d][k])];
+      dst = apply_reduce(op, dst, incoming[d][k]);
+      ++applied;
+    }
+  }
+  p.clock().charge_ops(slot + applied, p.params().mem_us_per_word);
+  p.clock().charge_ops(applied, p.params().flop_us);
+}
+
+template <typename T>
+void scatter_reduce(rt::Process& p, const CommSchedule& schedule,
+                    dist::DistributedArray<T>& a, ReduceOp op) {
+  scatter_reduce<T>(p, schedule, a.local(), a.ghost(), op);
+}
+
+/// Collective scatter-assign: writes ghost values into the owners' elements
+/// (off-process left-hand sides of dependence-free FORALL assignments, loop
+/// L1). The caller guarantees no two iterations write the same element.
+template <typename T>
+void scatter_assign(rt::Process& p, const CommSchedule& schedule,
+                    std::span<T> local, std::span<const T> ghost) {
+  scatter_reduce<T>(p, schedule, local, ghost, ReduceOp::Replace);
+}
+
+}  // namespace chaos::core

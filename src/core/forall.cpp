@@ -1,0 +1,50 @@
+#include "core/forall.hpp"
+
+namespace chaos::core {
+
+std::shared_ptr<EdgeLoopPlan> EdgeReductionLoop::inspect(
+    rt::Process& p, const dist::Distribution& edge_dist,
+    std::span<const i64> ept1, std::span<const i64> ept2,
+    const dist::Distribution& data_dist, IterRule rule) {
+  auto plan = std::make_shared<EdgeLoopPlan>();
+
+  // Phase B: iteration partition from the references' homes.
+  const std::span<const i64> batches[] = {ept1, ept2};
+  plan->iters = partition_iterations(p, edge_dist, data_dist, batches, rule);
+
+  // Phase C (iteration side): remap the indirection slices so each process
+  // holds the endpoints of the iterations it will execute.
+  plan->end1 = dist::apply_remap<i64>(p, plan->iters.remap, ept1);
+  plan->end2 = dist::apply_remap<i64>(p, plan->iters.remap, ept2);
+
+  // Phase D: localize (translate + dedup + schedule).
+  const std::span<const i64> remapped[] = {plan->end1, plan->end2};
+  plan->loc = localize_many(p, data_dist, remapped);
+  return plan;
+}
+
+std::shared_ptr<SingleStatementPlan> SingleStatementLoop::inspect(
+    rt::Process& p, const dist::Distribution& iter_dist,
+    std::span<const i64> ia, std::span<const i64> ib, std::span<const i64> ic,
+    const dist::Distribution& y_dist, const dist::Distribution& x_dist,
+    IterRule rule) {
+  auto plan = std::make_shared<SingleStatementPlan>();
+
+  // Vote with every reference of the iteration: the LHS against y's
+  // distribution contributes one vote, the RHS references against x's.
+  // When x and y are aligned (the common case) this is exactly the paper's
+  // most-local-references rule over all three references.
+  const std::span<const i64> batches[] = {ia, ib, ic};
+  plan->iters = partition_iterations(p, iter_dist, x_dist, batches, rule);
+
+  plan->ia = dist::apply_remap<i64>(p, plan->iters.remap, ia);
+  plan->ib = dist::apply_remap<i64>(p, plan->iters.remap, ib);
+  plan->ic = dist::apply_remap<i64>(p, plan->iters.remap, ic);
+
+  plan->lhs = localize(p, y_dist, plan->ia);
+  const std::span<const i64> rhs[] = {plan->ib, plan->ic};
+  plan->rhs = localize_many(p, x_dist, rhs);
+  return plan;
+}
+
+}  // namespace chaos::core

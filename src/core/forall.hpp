@@ -1,0 +1,137 @@
+// FORALL loop drivers: the code shapes the paper's compiler generates for
+// its two canonical irregular loops (Figure 1), packaged as inspector
+// (collective, produces a reusable plan) + executor (collective, runs the
+// computation through the plan's schedules).
+//
+//   EdgeReductionLoop  — loop L2:  FORALL i = 1,N
+//                                    REDUCE(ADD, y(e1(i)), f(x(e1),x(e2)))
+//                                    REDUCE(ADD, y(e2(i)), g(x(e1),x(e2)))
+//   SingleStatementLoop — loop L1: FORALL i = 1,N
+//                                    y(ia(i)) = f(x(ib(i)), x(ic(i)))
+//
+// Plans are shared_ptr products designed to live in an InspectorCache keyed
+// by loop id, guarded by the Section 3 reuse conditions.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/executor.hpp"
+#include "core/inspector.hpp"
+#include "core/iter_partition.hpp"
+#include "dist/darray.hpp"
+
+namespace chaos::core {
+
+/// Inspector product for an L2-style edge reduction sweep.
+struct EdgeLoopPlan {
+  IterationPartition iters;
+  /// Indirection values remapped onto the executing processes (one value per
+  /// local iteration of iters.iter_dist).
+  std::vector<i64> end1, end2;
+  /// Localized references of end1/end2 against the data distribution, with
+  /// the shared communication schedule.
+  LocalizedMany loc;
+
+  [[nodiscard]] i64 my_iterations() const {
+    return static_cast<i64>(end1.size());
+  }
+};
+
+class EdgeReductionLoop {
+ public:
+  /// Collective inspector (phases B+D of Figure 2): partitions the loop
+  /// iterations against @p data_dist, remaps the indirection slices, and
+  /// localizes them.
+  [[nodiscard]] static std::shared_ptr<EdgeLoopPlan> inspect(
+      rt::Process& p, const dist::Distribution& edge_dist,
+      std::span<const i64> ept1, std::span<const i64> ept2,
+      const dist::Distribution& data_dist,
+      IterRule rule = IterRule::MostLocalReferences);
+
+  /// Collective executor (phase E): gathers x ghosts, sweeps local
+  /// iterations computing y(e1) += f(x1,x2) and y(e2) += g(x1,x2) into local
+  /// or ghost accumulators, then scatter-adds the ghost contributions back.
+  /// @p flops_per_edge models the cost of one f+g evaluation pair.
+  template <typename F, typename G>
+  static void execute(rt::Process& p, const EdgeLoopPlan& plan,
+                      dist::DistributedArray<f64>& x,
+                      dist::DistributedArray<f64>& y, F&& f, G&& g,
+                      f64 flops_per_edge = 30.0) {
+    gather_ghosts(p, plan.loc.schedule, x);
+    std::vector<f64> y_ghost_acc(
+        static_cast<std::size_t>(plan.loc.schedule.nghost), 0.0);
+    const i64 nlocal = plan.loc.schedule.nlocal_at_build;
+    auto deposit = [&](i64 ref, f64 v) {
+      if (ref < nlocal) {
+        y.local()[static_cast<std::size_t>(ref)] += v;
+      } else {
+        y_ghost_acc[static_cast<std::size_t>(ref - nlocal)] += v;
+      }
+    };
+    const i64 n = plan.my_iterations();
+    for (i64 i = 0; i < n; ++i) {
+      const i64 r1 = plan.loc.refs[0][static_cast<std::size_t>(i)];
+      const i64 r2 = plan.loc.refs[1][static_cast<std::size_t>(i)];
+      const f64 x1 = x.localized(r1);
+      const f64 x2 = x.localized(r2);
+      deposit(r1, f(x1, x2));
+      deposit(r2, g(x1, x2));
+    }
+    p.clock().charge_ops(n, p.params().flop_us * flops_per_edge +
+                                p.params().mem_us_per_word * 4);
+    scatter_reduce<f64>(p, plan.loc.schedule, y.local(), y_ghost_acc,
+                        ReduceOp::Add);
+  }
+};
+
+/// Inspector product for an L1-style independent assignment loop.
+struct SingleStatementPlan {
+  IterationPartition iters;
+  std::vector<i64> ia, ib, ic;  ///< remapped indirection values
+  Localized lhs;                ///< ia against the y distribution
+  LocalizedMany rhs;            ///< ib, ic against the x distribution
+
+  [[nodiscard]] i64 my_iterations() const {
+    return static_cast<i64>(ia.size());
+  }
+};
+
+class SingleStatementLoop {
+ public:
+  [[nodiscard]] static std::shared_ptr<SingleStatementPlan> inspect(
+      rt::Process& p, const dist::Distribution& iter_dist,
+      std::span<const i64> ia, std::span<const i64> ib,
+      std::span<const i64> ic, const dist::Distribution& y_dist,
+      const dist::Distribution& x_dist,
+      IterRule rule = IterRule::MostLocalReferences);
+
+  /// y(ia(i)) = f(x(ib(i)), x(ic(i))). FORALL semantics: distinct iterations
+  /// must write distinct elements (checked only by construction).
+  template <typename F>
+  static void execute(rt::Process& p, const SingleStatementPlan& plan,
+                      dist::DistributedArray<f64>& y,
+                      dist::DistributedArray<f64>& x, F&& f,
+                      f64 flops_per_iter = 10.0) {
+    gather_ghosts(p, plan.rhs.schedule, x);
+    std::vector<f64> y_ghost(
+        static_cast<std::size_t>(plan.lhs.schedule.nghost), 0.0);
+    const i64 y_nlocal = plan.lhs.schedule.nlocal_at_build;
+    const i64 n = plan.my_iterations();
+    for (i64 i = 0; i < n; ++i) {
+      const f64 v = f(x.localized(plan.rhs.refs[0][static_cast<std::size_t>(i)]),
+                      x.localized(plan.rhs.refs[1][static_cast<std::size_t>(i)]));
+      const i64 ref = plan.lhs.refs[static_cast<std::size_t>(i)];
+      if (ref < y_nlocal) {
+        y.local()[static_cast<std::size_t>(ref)] = v;
+      } else {
+        y_ghost[static_cast<std::size_t>(ref - y_nlocal)] = v;
+      }
+    }
+    p.clock().charge_ops(n, p.params().flop_us * flops_per_iter +
+                                p.params().mem_us_per_word * 3);
+    scatter_assign<f64>(p, plan.lhs.schedule, y.local(), y_ghost);
+  }
+};
+
+}  // namespace chaos::core

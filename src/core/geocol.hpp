@@ -1,0 +1,79 @@
+// GeoCoL (Section 4.1): the standardized GEOmetry / COnnectivity / Load data
+// structure the CONSTRUCT directive builds at runtime to link partitioners
+// with programs. Assembled collectively from distributed program arrays:
+//
+//   C$ CONSTRUCT G (N, GEOMETRY(3, xc, yc, zc),
+//                      LINK(E, edge1, edge2), LOAD(w))
+//
+// Geometry and load slices are aligned with the vertex decomposition; edge
+// slices may live under any distribution — assembly routes each edge to both
+// endpoint owners to build the local CSR rows partitioners consume.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "partition/geocol_view.hpp"
+#include "rt/machine.hpp"
+
+namespace chaos::core {
+
+class GeoCol {
+ public:
+  [[nodiscard]] const std::shared_ptr<const dist::Distribution>& vdist() const {
+    return vdist_;
+  }
+  [[nodiscard]] i64 nverts() const { return vdist_->size(); }
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] bool has_geometry() const { return dims_ > 0; }
+  [[nodiscard]] bool has_connectivity() const { return !xadj_.empty(); }
+  [[nodiscard]] bool has_load() const { return !weights_.empty(); }
+  [[nodiscard]] i64 nedges_global() const { return nedges_global_; }
+
+  /// The partitioner-facing view (spans into this GeoCoL; keep it alive).
+  [[nodiscard]] part::GeoColView view() const;
+
+ private:
+  friend class GeoColBuilder;
+  std::shared_ptr<const dist::Distribution> vdist_;
+  int dims_ = 0;
+  std::array<std::vector<f64>, 3> coords_{};
+  std::vector<f64> weights_;
+  std::vector<i64> xadj_, adjncy_;  // local CSR, global column ids
+  i64 nedges_global_ = 0;
+};
+
+/// Builder implementing the CONSTRUCT directive. All methods take this
+/// process's slices; build() is collective.
+class GeoColBuilder {
+ public:
+  /// @p vdist is the decomposition the vertex-aligned inputs live under
+  /// (the paper aligns xc/yc/zc and weights with the data arrays' current —
+  /// initially BLOCK — decomposition).
+  GeoColBuilder(rt::Process& p, std::shared_ptr<const dist::Distribution> vdist);
+
+  /// GEOMETRY(dims, c0 [, c1 [, c2]]): one coordinate slice per dimension,
+  /// aligned with the vertex distribution.
+  GeoColBuilder& geometry(std::span<const std::span<const f64>> coord_slices);
+
+  /// LOAD(w): per-vertex computational weight, aligned with the vertices.
+  GeoColBuilder& load(std::span<const f64> weights);
+
+  /// LINK(E, u, v): this process's slice of the edge arrays (global vertex
+  /// ids). May be called several times; edges accumulate (e.g. one CONSTRUCT
+  /// with several LINK clauses).
+  GeoColBuilder& link(std::span<const i64> u, std::span<const i64> v);
+
+  /// Collective: assembles CSR connectivity (deduplicated, symmetrized,
+  /// self-loops dropped) and freezes the GeoCoL.
+  [[nodiscard]] std::shared_ptr<const GeoCol> build();
+
+ private:
+  rt::Process* p_;
+  std::shared_ptr<GeoCol> g_;
+  std::vector<i64> edge_u_, edge_v_;
+};
+
+}  // namespace chaos::core

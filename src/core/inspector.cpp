@@ -1,0 +1,121 @@
+#include "core/inspector.hpp"
+
+#include <unordered_map>
+
+#include "rt/collectives.hpp"
+
+namespace chaos::core {
+
+namespace {
+
+/// Key for the duplicate-removal hash: (owner, remote local index).
+struct PairHash {
+  std::size_t operator()(const std::pair<i32, i64>& k) const {
+    u64 h = static_cast<u64>(k.first) * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<u64>(k.second) + 0x7f4a7c15u + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+LocalizedMany localize_impl(rt::Process& p, const dist::Distribution& d,
+                            std::span<const std::span<const i64>> batches) {
+  LocalizedMany out;
+  out.refs.resize(batches.size());
+
+  // Phase 1: translate every reference (one batched table dereference).
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  std::vector<i64> flat;
+  flat.reserve(total);
+  for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
+  const auto entries = d.locate(p, flat);
+
+  // Phase 2: split into owned / off-process; hash-dedup the off-process
+  // references and assign each distinct one a per-owner ordinal.
+  const i64 nlocal = d.my_local_size();
+  std::unordered_map<std::pair<i32, i64>, i64, PairHash> ordinal_of;
+  std::vector<std::vector<i64>> requests(static_cast<std::size_t>(p.nprocs()));
+  struct Pending {
+    std::size_t batch;
+    std::size_t pos;
+    i32 owner;
+    i64 ordinal;
+  };
+  std::vector<Pending> pending;
+
+  std::size_t cursor = 0;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    out.refs[b].resize(batches[b].size());
+    for (std::size_t i = 0; i < batches[b].size(); ++i, ++cursor) {
+      const auto& e = entries[cursor];
+      if (e.proc == p.rank()) {
+        out.refs[b][i] = e.local;
+        continue;
+      }
+      ++out.off_process_refs;
+      auto [it, inserted] = ordinal_of.try_emplace(
+          {e.proc, e.local},
+          static_cast<i64>(requests[static_cast<std::size_t>(e.proc)].size()));
+      if (inserted) {
+        requests[static_cast<std::size_t>(e.proc)].push_back(e.local);
+      }
+      pending.push_back(Pending{b, i, e.proc, it->second});
+    }
+  }
+  // Hash construction + lookups: ~2 memory ops per off-process reference.
+  p.clock().charge_ops(static_cast<i64>(total) +
+                           2 * out.off_process_refs,
+                       p.params().mem_us_per_word);
+
+  // Phase 3: ghost slots are per-owner contiguous, owners ascending.
+  std::vector<i64> base(static_cast<std::size_t>(p.nprocs()) + 1, 0);
+  for (int r = 0; r < p.nprocs(); ++r) {
+    base[static_cast<std::size_t>(r) + 1] =
+        base[static_cast<std::size_t>(r)] +
+        static_cast<i64>(requests[static_cast<std::size_t>(r)].size());
+  }
+  for (const auto& pe : pending) {
+    out.refs[pe.batch][pe.pos] =
+        nlocal + base[static_cast<std::size_t>(pe.owner)] + pe.ordinal;
+  }
+
+  // Phase 4: exchange request lists; what arrives is my send side.
+  auto incoming = rt::alltoallv(p, requests);
+
+  out.schedule.send_local = std::move(incoming);
+  out.schedule.recv_counts.resize(static_cast<std::size_t>(p.nprocs()));
+  for (int r = 0; r < p.nprocs(); ++r) {
+    out.schedule.recv_counts[static_cast<std::size_t>(r)] =
+        static_cast<i64>(requests[static_cast<std::size_t>(r)].size());
+  }
+  out.schedule.nghost = base[static_cast<std::size_t>(p.nprocs())];
+  out.schedule.nlocal_at_build = nlocal;
+
+  for (const auto& s : out.schedule.send_local) {
+    for (i64 l : s) {
+      CHAOS_CHECK(l >= 0 && l < nlocal,
+                  "inspector: peer requested an element I do not own");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Localized localize(rt::Process& p, const dist::Distribution& d,
+                   std::span<const i64> global_refs) {
+  const std::span<const i64> one[] = {global_refs};
+  auto many = localize_impl(p, d, one);
+  Localized out;
+  out.refs = std::move(many.refs[0]);
+  out.schedule = std::move(many.schedule);
+  out.off_process_refs = many.off_process_refs;
+  return out;
+}
+
+LocalizedMany localize_many(rt::Process& p, const dist::Distribution& d,
+                            std::span<const std::span<const i64>> batches) {
+  return localize_impl(p, d, batches);
+}
+
+}  // namespace chaos::core

@@ -1,0 +1,43 @@
+// The inspector's "localize" step (Phase D of Figure 2): translate global
+// references through the distribution, remove duplicate off-process
+// references with a hash table, assign ghost-buffer slots, and exchange
+// request lists to form the communication schedule.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "dist/distribution.hpp"
+#include "rt/machine.hpp"
+
+namespace chaos::core {
+
+/// Result of localizing one batch of global references against one
+/// distribution. refs[i] is the localized index of global_refs[i]:
+/// < nlocal → owned element; >= nlocal → ghost slot (nlocal + slot).
+struct Localized {
+  std::vector<i64> refs;
+  CommSchedule schedule;
+  i64 off_process_refs = 0;  ///< before duplicate removal
+};
+
+/// Collective. Localizes @p global_refs (indices into an array distributed
+/// by @p d). All processes must call together; lists may differ in length.
+[[nodiscard]] Localized localize(rt::Process& p, const dist::Distribution& d,
+                                 std::span<const i64> global_refs);
+
+/// Collective. Localizes several reference batches against the same
+/// distribution with a *shared* duplicate-removal table and one schedule
+/// (CHAOS builds one ghost index space per loop per distribution, shared by
+/// every data array aligned to it). Outputs one refs vector per batch.
+struct LocalizedMany {
+  std::vector<std::vector<i64>> refs;
+  CommSchedule schedule;
+  i64 off_process_refs = 0;
+};
+[[nodiscard]] LocalizedMany localize_many(
+    rt::Process& p, const dist::Distribution& d,
+    std::span<const std::span<const i64>> batches);
+
+}  // namespace chaos::core

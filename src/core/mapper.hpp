@@ -1,0 +1,57 @@
+// The mapper coupler (Section 4.2): implements
+//
+//   C$ SET distfmt BY PARTITIONING G USING <partitioner>
+//   C$ REDISTRIBUTE reg(distfmt)
+//
+// SET hands the GeoCoL to a registry-selected partitioner and converts the
+// resulting part assignment into an IRREGULAR distribution. REDISTRIBUTE is
+// dist::build_remap + DistributedArray::redistribute with one shared plan,
+// and the reuse registry is told that the remapped arrays have new DADs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/geocol.hpp"
+#include "core/reuse.hpp"
+#include "dist/darray.hpp"
+#include "partition/partitioner.hpp"
+
+namespace chaos::core {
+
+/// Collective: partitions @p g into p.nprocs() parts with the named
+/// partitioner and returns the corresponding IRREGULAR distribution over the
+/// GeoCoL's vertex set (part id == owning process — the paper's map array).
+[[nodiscard]] std::shared_ptr<const dist::Distribution> set_by_partitioning(
+    rt::Process& p, const GeoCol& g, const std::string& partitioner,
+    i64 page_size = 4096);
+
+/// REDISTRIBUTE: moves every added array onto the target distribution with
+/// one shared remap plan. All added arrays must share the source
+/// distribution (be "aligned" in Fortran D terms).
+class Redistributor {
+ public:
+  explicit Redistributor(ReuseRegistry* registry = nullptr)
+      : registry_(registry) {}
+
+  Redistributor& add(dist::DistributedArray<f64>& a) {
+    arrays_f64_.push_back(&a);
+    return *this;
+  }
+  Redistributor& add(dist::DistributedArray<i64>& a) {
+    arrays_i64_.push_back(&a);
+    return *this;
+  }
+
+  /// Collective: applies the redistribution and notes the remap in the
+  /// reuse registry (new DAD, bumped nmod) if one was attached.
+  void apply(rt::Process& p, std::shared_ptr<const dist::Distribution> to);
+
+ private:
+  ReuseRegistry* registry_;
+  std::vector<dist::DistributedArray<f64>*> arrays_f64_;
+  std::vector<dist::DistributedArray<i64>*> arrays_i64_;
+};
+
+}  // namespace chaos::core

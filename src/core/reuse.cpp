@@ -1,0 +1,25 @@
+#include "core/reuse.hpp"
+
+namespace chaos::core {
+
+bool reuse_valid(const ReuseRegistry& reg, const InspectorRecord& rec,
+                 std::span<const dist::Dad> cur_data_dads,
+                 std::span<const dist::Dad> cur_ind_dads) {
+  // Condition 1: DAD(x_i) == L.DAD(x_i) for every data array.
+  if (cur_data_dads.size() != rec.data_dads.size()) return false;
+  for (std::size_t i = 0; i < cur_data_dads.size(); ++i) {
+    if (!(cur_data_dads[i] == rec.data_dads[i])) return false;
+  }
+  // Condition 2: DAD(ind_j) == L.DAD(ind_j) for every indirection array.
+  if (cur_ind_dads.size() != rec.ind_dads.size()) return false;
+  for (std::size_t j = 0; j < cur_ind_dads.size(); ++j) {
+    if (!(cur_ind_dads[j] == rec.ind_dads[j])) return false;
+  }
+  // Condition 3: last_mod(DAD(ind_j)) == L.last_mod(L.DAD(ind_j)).
+  for (std::size_t j = 0; j < cur_ind_dads.size(); ++j) {
+    if (reg.last_mod(cur_ind_dads[j]) != rec.ind_last_mod[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace chaos::core

@@ -1,0 +1,128 @@
+// Communication-schedule reuse (Section 3 of the paper — the first of its
+// two contributions). The compiler-generated code maintains:
+//
+//   nmod      — a global timestamp: the cumulative number of code blocks
+//               (loops, intrinsics, statements) that modified ANY
+//               distributed array;
+//   last_mod  — a map DAD -> nmod value at the DAD's latest modification
+//               (remapping an array changes its DAD and bumps nmod).
+//
+// An inspector for loop L stores the DADs of L's data arrays, the DADs of
+// its indirection arrays, and last_mod of the indirection DADs. Before a
+// subsequent execution of L the saved results are reused iff
+//   (1) every data-array DAD is unchanged,
+//   (2) every indirection-array DAD is unchanged, and
+//   (3) no indirection array may have been modified since (last_mod equal).
+// The method is conservative: a false invalidation costs a redundant
+// inspector; stale reuse would be a correctness bug and must never happen.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/dad.hpp"
+
+namespace chaos::core {
+
+/// Per-process (SPMD-replicated) modification record. All processes execute
+/// the same statement sequence, so their registries stay identical without
+/// communication — exactly how the compiler-generated code works.
+class ReuseRegistry {
+ public:
+  /// Called once per loop / array intrinsic / statement that writes to a
+  /// distributed array with descriptor @p dad.
+  void note_write(const dist::Dad& dad) { last_mod_[dad.key()] = ++nmod_; }
+
+  /// Called when an array is remapped: the paper increments nmod and stamps
+  /// the *new* DAD (the old DAD can never be referenced again).
+  void note_remap(const dist::Dad& new_dad) { note_write(new_dad); }
+
+  /// Timestamp of the last possible modification of arrays with @p dad
+  /// (0 = never modified since creation).
+  [[nodiscard]] u64 last_mod(const dist::Dad& dad) const {
+    const auto it = last_mod_.find(dad.key());
+    return it == last_mod_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] u64 nmod() const { return nmod_; }
+  void clear() {
+    nmod_ = 0;
+    last_mod_.clear();
+  }
+
+ private:
+  u64 nmod_ = 0;
+  std::unordered_map<u64, u64> last_mod_;
+};
+
+/// What loop L's inspector saved: L.DAD(x_i), L.DAD(ind_j),
+/// L.last_mod(DAD(ind_j)) in the paper's notation.
+struct InspectorRecord {
+  std::vector<dist::Dad> data_dads;
+  std::vector<dist::Dad> ind_dads;
+  std::vector<u64> ind_last_mod;
+};
+
+/// The three reuse conditions from Section 3.
+[[nodiscard]] bool reuse_valid(const ReuseRegistry& reg,
+                               const InspectorRecord& rec,
+                               std::span<const dist::Dad> cur_data_dads,
+                               std::span<const dist::Dad> cur_ind_dads);
+
+/// Cache of inspector products keyed by loop id. The product type is opaque
+/// (schedules, iteration partitions, localized references — whatever the
+/// loop's inspector builds); the cache only owns the guard logic.
+class InspectorCache {
+ public:
+  struct Stats {
+    i64 hits = 0;
+    i64 misses = 0;
+  };
+
+  /// Returns the cached product for @p loop_id if the Section 3 conditions
+  /// hold, otherwise runs @p build (which must return
+  /// std::shared_ptr<Product>) and records the new guard state.
+  template <typename Product, typename BuildFn>
+  std::shared_ptr<Product> get_or_build(
+      u64 loop_id, const ReuseRegistry& reg,
+      std::vector<dist::Dad> cur_data_dads,
+      std::vector<dist::Dad> cur_ind_dads, BuildFn&& build) {
+    auto it = slots_.find(loop_id);
+    if (it != slots_.end() &&
+        reuse_valid(reg, it->second.record, cur_data_dads, cur_ind_dads)) {
+      ++stats_.hits;
+      return std::static_pointer_cast<Product>(it->second.product);
+    }
+    ++stats_.misses;
+    std::shared_ptr<Product> product = build();
+    Slot slot;
+    slot.record.data_dads = std::move(cur_data_dads);
+    slot.record.ind_dads = std::move(cur_ind_dads);
+    slot.record.ind_last_mod.reserve(slot.record.ind_dads.size());
+    for (const auto& dad : slot.record.ind_dads) {
+      slot.record.ind_last_mod.push_back(reg.last_mod(dad));
+    }
+    slot.product = product;
+    slots_[loop_id] = std::move(slot);
+    return product;
+  }
+
+  /// Drops one loop's cached product (or everything).
+  void invalidate(u64 loop_id) { slots_.erase(loop_id); }
+  void clear() { slots_.clear(); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    InspectorRecord record;
+    std::shared_ptr<void> product;
+  };
+  std::unordered_map<u64, Slot> slots_;
+  Stats stats_;
+};
+
+}  // namespace chaos::core

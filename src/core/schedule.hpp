@@ -1,0 +1,57 @@
+// Communication schedule (PARTI/CHAOS): the inspector's central product. A
+// CommSchedule records, for one (loop, distribution) pair, which of my local
+// elements other processes need (send side) and how many ghost values arrive
+// from each process (receive side). The ghost buffer is laid out by source
+// rank ascending, within rank in request order — so the executor's gather is
+// a pack / all-to-all / contiguous-unpack with no per-element addressing.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "rt/types.hpp"
+
+namespace chaos::core {
+
+struct CommSchedule {
+  /// send_local[d] = my local element indices process d asked for.
+  std::vector<std::vector<i64>> send_local;
+  /// recv_counts[s] = number of ghost values process s will send me. Ghost
+  /// slot ranges per source are contiguous: source s fills
+  /// [recv_offset(s), recv_offset(s)+recv_counts[s]).
+  std::vector<i64> recv_counts;
+  /// Total ghost slots (== sum of recv_counts).
+  i64 nghost = 0;
+  /// Local segment size when the schedule was built (staleness guard).
+  i64 nlocal_at_build = 0;
+
+  [[nodiscard]] i64 recv_offset(int src) const {
+    i64 off = 0;
+    for (int s = 0; s < src; ++s) off += recv_counts[static_cast<std::size_t>(s)];
+    return off;
+  }
+
+  /// Number of point-to-point messages a gather through this schedule costs
+  /// this process (sends plus receives, self excluded by construction).
+  [[nodiscard]] i64 messages(int my_rank) const {
+    i64 m = 0;
+    for (std::size_t d = 0; d < send_local.size(); ++d) {
+      if (static_cast<int>(d) != my_rank && !send_local[d].empty()) ++m;
+    }
+    for (std::size_t s = 0; s < recv_counts.size(); ++s) {
+      if (static_cast<int>(s) != my_rank && recv_counts[s] > 0) ++m;
+    }
+    return m;
+  }
+
+  /// Words moved off-process by one gather (send direction).
+  [[nodiscard]] i64 send_volume(int my_rank) const {
+    i64 v = 0;
+    for (std::size_t d = 0; d < send_local.size(); ++d) {
+      if (static_cast<int>(d) != my_rank) v += static_cast<i64>(send_local[d].size());
+    }
+    return v;
+  }
+};
+
+}  // namespace chaos::core

@@ -1,0 +1,106 @@
+// SPMD interpreter for compiled mini-Fortran-90D programs: the stand-in for
+// the paper's Fortran 90D compiler back end. Each directive lowers onto the
+// same CHAOS runtime calls the compiler transformation of Figure 6 emits
+// (K1..K4), and every FORALL is executed through the inspector/executor
+// pipeline with the Section 3 schedule-reuse guard inserted automatically.
+//
+// Usage (identical on every process):
+//   auto prog = lang::compile(source);
+//   lang::Instance inst(prog);
+//   inst.set_param("NNODE", n); inst.bind_real("X", x0); ...
+//   inst.execute(p);                       // collective
+//   auto y = inst.fetch_real(p, "Y");      // collective
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/forall.hpp"
+#include "core/geocol.hpp"
+#include "core/mapper.hpp"
+#include "core/reuse.hpp"
+#include "lang/ast.hpp"
+
+namespace chaos::lang {
+
+/// Virtual-time spent per pipeline phase (seconds), matching the row labels
+/// of the paper's Tables 2-4.
+struct PhaseTimes {
+  f64 graph_gen = 0.0;   ///< CONSTRUCT (GeoCoL assembly)
+  f64 partition = 0.0;   ///< SET ... BY PARTITIONING
+  f64 remap = 0.0;       ///< REDISTRIBUTE + iteration remaps
+  f64 inspector = 0.0;   ///< FORALL preprocessing (localize, schedules)
+  f64 executor = 0.0;    ///< FORALL sweeps + gathers/scatters
+
+  [[nodiscard]] f64 total() const {
+    return graph_gen + partition + remap + inspector + executor;
+  }
+};
+
+class Instance {
+ public:
+  struct State;  // SPMD runtime state (internal; defined in interp.cpp)
+
+  /// @p program must outlive the Instance (it is shared by every process's
+  /// Instance, mirroring compiled code shared by all SPMD ranks).
+  explicit Instance(const Program& program);
+  ~Instance();
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  // --- host bindings (set before execute; identical on every process) ------
+
+  void set_param(const std::string& name, i64 value);
+  /// Initial global contents of a REAL*8 array (picked up when the array is
+  /// materialized by ALIGN).
+  void bind_real(const std::string& array, std::vector<f64> global_values);
+  /// Initial global contents of an INTEGER array. Values that are used as
+  /// subscripts are 1-based, as in Fortran.
+  void bind_int(const std::string& array, std::vector<i64> global_values);
+
+  /// Disables schedule reuse (every FORALL re-runs its inspector) — the
+  /// "without schedule reuse" configuration of Table 1.
+  void set_schedule_reuse(bool enabled) { reuse_enabled_ = enabled; }
+
+  // --- execution ------------------------------------------------------------
+
+  /// Collective: runs the whole program.
+  void execute(rt::Process& p);
+
+  /// Collective: fetches a distributed array's full global contents.
+  [[nodiscard]] std::vector<f64> fetch_real(rt::Process& p,
+                                            const std::string& array);
+  [[nodiscard]] std::vector<i64> fetch_int(rt::Process& p,
+                                           const std::string& array);
+
+  /// Collective: overwrites a distributed INTEGER array in place, modelling
+  /// a host/phase boundary write (e.g. an adapted mesh). Bumps the reuse
+  /// registry exactly like a Fortran 90D statement writing the array would.
+  void overwrite_int(rt::Process& p, const std::string& array,
+                     const std::vector<i64>& global_values);
+
+  // --- introspection ---------------------------------------------------------
+
+  [[nodiscard]] const PhaseTimes& phases() const { return phases_; }
+  [[nodiscard]] const core::InspectorCache::Stats& cache_stats() const;
+  /// Hit/miss counts of the mapper-coupler cache (CONSTRUCT / SET reuse).
+  [[nodiscard]] const core::InspectorCache::Stats& mapper_cache_stats() const;
+  [[nodiscard]] const core::ReuseRegistry& reuse_registry() const;
+
+ private:
+  void run_statement(rt::Process& p, const Statement& s);
+
+  const Program* program_;
+  bool reuse_enabled_ = true;
+  PhaseTimes phases_;
+  std::map<std::string, i64> host_params_;
+  std::map<std::string, std::vector<f64>> real_bindings_;
+  std::map<std::string, std::vector<i64>> int_bindings_;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace chaos::lang

@@ -1,0 +1,114 @@
+#include <cctype>
+#include <cstdlib>
+
+#include "lang/token.hpp"
+
+namespace chaos::lang {
+
+std::vector<Token> tokenize_line(const std::string& line, int line_no) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const auto n = line.size();
+  auto push = [&](Tok kind, std::string text, std::size_t col) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_no;
+    t.column = static_cast<int>(col) + 1;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '!') break;  // trailing comment
+    const std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                       line[i] == '_' || line[i] == '$')) {
+        ident.push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(line[i]))));
+        ++i;
+      }
+      // REAL*8 is one declaration keyword: glue the "*8" suffix on.
+      if (ident == "REAL" && i + 1 < n && line[i] == '*' &&
+          std::isdigit(static_cast<unsigned char>(line[i + 1]))) {
+        ident.push_back('*');
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(line[i]))) {
+          ident.push_back(line[i]);
+          ++i;
+        }
+      }
+      push(Tok::Ident, std::move(ident), start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(line[i + 1])))) {
+      std::size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(line[j])) ||
+                       line[j] == '.')) {
+        ++j;
+      }
+      // Exponent part: 1.5e-3, 2E+10, 1d0 (Fortran double exponent).
+      if (j < n && (line[j] == 'e' || line[j] == 'E' || line[j] == 'd' ||
+                    line[j] == 'D')) {
+        std::size_t k = j + 1;
+        if (k < n && (line[k] == '+' || line[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(line[k]))) {
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) {
+            ++j;
+          }
+        }
+      }
+      std::string text = line.substr(i, j - i);
+      for (auto& ch : text) {
+        if (ch == 'd' || ch == 'D') ch = 'e';  // Fortran double exponent
+      }
+      Token t;
+      t.kind = Tok::Number;
+      t.text = text;
+      t.number = std::strtod(text.c_str(), nullptr);
+      t.line = line_no;
+      t.column = static_cast<int>(start) + 1;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(': push(Tok::LParen, "(", start); ++i; break;
+      case ')': push(Tok::RParen, ")", start); ++i; break;
+      case ',': push(Tok::Comma, ",", start); ++i; break;
+      case '=': push(Tok::Assign, "=", start); ++i; break;
+      case '+': push(Tok::Plus, "+", start); ++i; break;
+      case '-': push(Tok::Minus, "-", start); ++i; break;
+      case '*':
+        if (i + 1 < n && line[i + 1] == '*') {
+          push(Tok::Power, "**", start);
+          i += 2;
+        } else {
+          push(Tok::Star, "*", start);
+          ++i;
+        }
+        break;
+      case '/': push(Tok::Slash, "/", start); ++i; break;
+      default:
+        throw LangError(std::string("unexpected character '") + c + "'",
+                        line_no, static_cast<int>(start) + 1);
+    }
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.line = line_no;
+  end.column = static_cast<int>(n) + 1;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace chaos::lang

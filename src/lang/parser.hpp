@@ -1,0 +1,17 @@
+// Parser for the miniature Fortran 90D dialect (grammar in lang/ast.hpp).
+// Line-oriented like Fortran: directives may carry the classic "C$" prefix
+// (Figure 4 of the paper) or appear bare; comment lines start with 'C ',
+// '*', or '!'.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace chaos::lang {
+
+/// Compiles @p source into a Program. Throws LangError with a line number on
+/// any syntax violation.
+[[nodiscard]] Program compile(const std::string& source);
+
+}  // namespace chaos::lang

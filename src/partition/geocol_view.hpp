@@ -1,0 +1,45 @@
+// The standardized partitioner interface data structure (Section 4.1.1 of
+// the paper): a read-only view of the GeoCoL graph — Geometry (vertex
+// coordinates), Connectivity (local CSR rows with global column ids) and
+// Load (vertex weights) — aligned with a vertex distribution. Partitioners
+// consume this view and nothing else, which is precisely what decouples them
+// from applications.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "dist/distribution.hpp"
+
+namespace chaos::part {
+
+struct GeoColView {
+  /// Distribution of the vertex set; every per-vertex span below is the
+  /// calling process's slice under this distribution.
+  const dist::Distribution* vdist = nullptr;
+
+  /// Geometry: dims in {0,1,2,3}; coords[d] has vdist->my_local_size() slots.
+  int dims = 0;
+  std::array<std::span<const f64>, 3> coords{};
+
+  /// Load: optional per-vertex weights (empty means unit weights).
+  std::span<const f64> weights{};
+
+  /// Connectivity: optional local CSR over owned vertices; adjncy holds
+  /// *global* vertex ids. xadj has my_local_size()+1 entries when present.
+  std::span<const i64> xadj{};
+  std::span<const i64> adjncy{};
+
+  [[nodiscard]] bool has_geometry() const { return dims > 0; }
+  [[nodiscard]] bool has_connectivity() const { return !xadj.empty(); }
+  [[nodiscard]] bool has_load() const { return !weights.empty(); }
+
+  [[nodiscard]] i64 nlocal() const { return vdist->my_local_size(); }
+  [[nodiscard]] i64 nglobal() const { return vdist->size(); }
+
+  [[nodiscard]] f64 weight_of(i64 l) const {
+    return has_load() ? weights[static_cast<std::size_t>(l)] : 1.0;
+  }
+};
+
+}  // namespace chaos::part

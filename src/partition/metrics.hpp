@@ -1,0 +1,35 @@
+// Partition quality metrics: edge cut, load imbalance, boundary size. Used
+// by the ablation benches and by tests asserting that the smart partitioners
+// actually beat the naive ones on mesh-like graphs.
+#pragma once
+
+#include <span>
+
+#include "partition/geocol_view.hpp"
+#include "rt/machine.hpp"
+
+namespace chaos::part {
+
+struct PartitionQuality {
+  i64 edge_cut = 0;           ///< edges with endpoints in different parts
+  i64 total_edges = 0;        ///< undirected edge count of the graph
+  i64 boundary_vertices = 0;  ///< vertices with at least one cut edge
+  f64 imbalance = 0.0;        ///< max part weight / average part weight
+  f64 max_part_weight = 0.0;
+  i64 nonempty_parts = 0;
+
+  [[nodiscard]] f64 cut_fraction() const {
+    return total_edges == 0
+               ? 0.0
+               : static_cast<f64>(edge_cut) / static_cast<f64>(total_edges);
+  }
+};
+
+/// Collective: evaluates @p parts (aligned with g.vdist) against the GeoCoL
+/// connectivity. Requires LINK; weights default to 1.
+[[nodiscard]] PartitionQuality evaluate_partition(rt::Process& p,
+                                                  const GeoColView& g,
+                                                  std::span<const i64> parts,
+                                                  int nparts);
+
+}  // namespace chaos::part

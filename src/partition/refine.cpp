@@ -1,0 +1,130 @@
+// Greedy Kernighan–Lin/Fiduccia–Mattheyses-style boundary refinement: moves
+// boundary vertices to the adjacent part with the highest cut gain, subject
+// to a balance constraint. Runs at the root on the gathered graph (the same
+// substitution as RSB; cost is charged to the virtual clock).
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+#include "rt/collectives.hpp"
+
+namespace chaos::part {
+
+std::vector<i64> refine_kl(rt::Process& p, const GeoColView& g, int nparts,
+                           std::vector<i64> parts, int max_passes) {
+  CHAOS_CHECK(nparts >= 1, "refine: nparts must be positive");
+  CHAOS_CHECK(g.has_connectivity(), "KL refinement requires LINK connectivity");
+  CHAOS_CHECK(static_cast<i64>(parts.size()) == g.nlocal(),
+              "refine: parts not aligned with the vertex distribution");
+
+  const auto my_globals = g.vdist->my_globals();
+  auto all_globals = rt::allgatherv<i64>(p, my_globals);
+  std::vector<i64> degrees(static_cast<std::size_t>(g.nlocal()));
+  for (i64 l = 0; l < g.nlocal(); ++l) {
+    degrees[static_cast<std::size_t>(l)] =
+        g.xadj[static_cast<std::size_t>(l) + 1] -
+        g.xadj[static_cast<std::size_t>(l)];
+  }
+  auto all_degrees = rt::gatherv<i64>(p, degrees, 0);
+  auto all_adjncy = rt::gatherv<i64>(p, g.adjncy, 0);
+  auto all_parts = rt::gatherv<i64>(p, parts, 0);
+  std::vector<f64> local_w(static_cast<std::size_t>(g.nlocal()));
+  for (i64 l = 0; l < g.nlocal(); ++l) {
+    local_w[static_cast<std::size_t>(l)] = g.weight_of(l);
+  }
+  auto all_weights = rt::gatherv<f64>(p, local_w, 0);
+
+  const i64 n = g.nglobal();
+  std::vector<i64> part_global(static_cast<std::size_t>(n), 0);
+  if (p.is_root()) {
+    // Rebuild the global CSR in global vertex order.
+    std::vector<i64> xadj(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<i64> adjncy(all_adjncy.size());
+    std::vector<f64> weight(static_cast<std::size_t>(n), 1.0);
+    std::vector<i64> deg_of(static_cast<std::size_t>(n), 0);
+    for (std::size_t k = 0; k < all_globals.size(); ++k) {
+      const i64 u = all_globals[k];
+      deg_of[static_cast<std::size_t>(u)] = all_degrees[k];
+      weight[static_cast<std::size_t>(u)] = all_weights[k];
+      part_global[static_cast<std::size_t>(u)] = all_parts[k];
+    }
+    for (i64 u = 0; u < n; ++u) {
+      xadj[static_cast<std::size_t>(u) + 1] =
+          xadj[static_cast<std::size_t>(u)] + deg_of[static_cast<std::size_t>(u)];
+    }
+    std::vector<i64> cursor = xadj;
+    std::size_t pos = 0;
+    for (std::size_t k = 0; k < all_globals.size(); ++k) {
+      const i64 u = all_globals[k];
+      for (i64 d = 0; d < all_degrees[k]; ++d) {
+        adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] =
+            all_adjncy[pos++];
+      }
+    }
+
+    std::vector<f64> part_weight(static_cast<std::size_t>(nparts), 0.0);
+    f64 total_weight = 0.0;
+    for (i64 u = 0; u < n; ++u) {
+      part_weight[static_cast<std::size_t>(part_global[
+          static_cast<std::size_t>(u)])] += weight[static_cast<std::size_t>(u)];
+      total_weight += weight[static_cast<std::size_t>(u)];
+    }
+    const f64 max_allowed =
+        1.05 * total_weight / static_cast<f64>(nparts) + 1e-9;
+
+    i64 flops = 0;
+    std::vector<i64> affinity(static_cast<std::size_t>(nparts), 0);
+    for (int pass = 0; pass < max_passes; ++pass) {
+      i64 moves = 0;
+      for (i64 u = 0; u < n; ++u) {
+        const i64 pu = part_global[static_cast<std::size_t>(u)];
+        // Count neighbors per part (sparse touch-and-reset).
+        std::vector<i64> touched;
+        for (i64 k = xadj[static_cast<std::size_t>(u)];
+             k < xadj[static_cast<std::size_t>(u) + 1]; ++k) {
+          const i64 pv = part_global[static_cast<std::size_t>(
+              adjncy[static_cast<std::size_t>(k)])];
+          if (affinity[static_cast<std::size_t>(pv)] == 0) touched.push_back(pv);
+          ++affinity[static_cast<std::size_t>(pv)];
+          ++flops;
+        }
+        i64 best_part = pu;
+        i64 best_gain = 0;
+        for (i64 cand : touched) {
+          if (cand == pu) continue;
+          const i64 gain = affinity[static_cast<std::size_t>(cand)] -
+                           affinity[static_cast<std::size_t>(pu)];
+          const bool balanced =
+              part_weight[static_cast<std::size_t>(cand)] +
+                  weight[static_cast<std::size_t>(u)] <=
+              max_allowed;
+          if (gain > best_gain && balanced) {
+            best_gain = gain;
+            best_part = cand;
+          }
+        }
+        for (i64 t : touched) affinity[static_cast<std::size_t>(t)] = 0;
+        if (best_part != pu) {
+          part_weight[static_cast<std::size_t>(pu)] -=
+              weight[static_cast<std::size_t>(u)];
+          part_weight[static_cast<std::size_t>(best_part)] +=
+              weight[static_cast<std::size_t>(u)];
+          part_global[static_cast<std::size_t>(u)] = best_part;
+          ++moves;
+        }
+      }
+      if (moves == 0) break;
+    }
+    p.clock().charge_ops(flops, p.params().flop_us);
+  }
+
+  part_global = rt::broadcast_vec(p, part_global, 0);
+  std::vector<i64> out(static_cast<std::size_t>(g.nlocal()));
+  for (std::size_t l = 0; l < out.size(); ++l) {
+    out[l] = part_global[static_cast<std::size_t>(my_globals[l])];
+  }
+  return out;
+}
+
+}  // namespace chaos::part

@@ -1,0 +1,323 @@
+// Collective operations over all logical processes of a Machine.
+//
+// Implementation: shared-memory blackboard (deposit pointer → barrier → read
+// → barrier), which is correct and fast on the thread-backed substrate.
+// Timing: BSP-style superstep charging — entering clocks are equalized to the
+// maximum, then each process is charged for the messages a real
+// hypercube implementation would send/receive (see rt/cost_model.hpp). This
+// keeps virtual times deterministic and independent of host scheduling.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "rt/machine.hpp"
+
+namespace chaos::rt {
+
+namespace detail {
+
+/// Equalizes all virtual clocks to the max entering value plus @p extra_us.
+/// Costs two raw barriers; publishes through the machine's clock slots.
+inline void clock_sync_max(Process& p, f64 extra_us) {
+  Machine& m = p.machine();
+  m.clock_put(p.rank(), p.clock().now_us());
+  p.barrier_sync_only();
+  f64 max_us = 0.0;
+  for (int r = 0; r < p.nprocs(); ++r) max_us = std::max(max_us, m.clock_get(r));
+  p.barrier_sync_only();
+  p.clock().advance_to(max_us);
+  p.clock().charge(extra_us);
+}
+
+}  // namespace detail
+
+/// Synchronization barrier; charges the modeled hypercube barrier cost.
+inline void barrier(Process& p) {
+  ++p.stats().collectives;
+  detail::clock_sync_max(p, p.params().barrier_us(p.nprocs()));
+}
+
+/// Broadcast a trivially-copyable value from @p root to all processes.
+template <typename T>
+T broadcast(Process& p, const T& value, int root = 0) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  if (p.rank() == root) m.bb_put(p.rank(), &value);
+  p.barrier_sync_only();
+  T out = *static_cast<const T*>(m.bb_get(root));
+  p.barrier_sync_only();
+  detail::clock_sync_max(p, p.params().small_collective_us(
+                                p.nprocs(), static_cast<i64>(sizeof(T))));
+  return out;
+}
+
+/// Broadcast a whole vector from @p root (payload charged per byte).
+template <typename T>
+std::vector<T> broadcast_vec(Process& p, const std::vector<T>& value,
+                             int root = 0) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  if (p.rank() == root) m.bb_put(p.rank(), &value);
+  p.barrier_sync_only();
+  std::vector<T> out = *static_cast<const std::vector<T>*>(m.bb_get(root));
+  p.barrier_sync_only();
+  detail::clock_sync_max(
+      p, p.params().small_collective_us(
+             p.nprocs(), static_cast<i64>(out.size() * sizeof(T))));
+  return out;
+}
+
+/// All-reduce with an arbitrary associative @p op (e.g. std::plus<>{}).
+template <typename T, typename BinaryOp>
+T allreduce(Process& p, const T& value, BinaryOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  m.bb_put(p.rank(), &value);
+  p.barrier_sync_only();
+  T acc = *static_cast<const T*>(m.bb_get(0));
+  for (int r = 1; r < p.nprocs(); ++r) {
+    acc = op(acc, *static_cast<const T*>(m.bb_get(r)));
+  }
+  p.barrier_sync_only();
+  detail::clock_sync_max(p, p.params().small_collective_us(
+                                p.nprocs(), static_cast<i64>(sizeof(T))));
+  return acc;
+}
+
+template <typename T>
+T allreduce_sum(Process& p, const T& v) {
+  return allreduce(p, v, std::plus<>{});
+}
+template <typename T>
+T allreduce_max(Process& p, const T& v) {
+  return allreduce(p, v, [](const T& a, const T& b) { return std::max(a, b); });
+}
+template <typename T>
+T allreduce_min(Process& p, const T& v) {
+  return allreduce(p, v, [](const T& a, const T& b) { return std::min(a, b); });
+}
+
+/// Element-wise all-reduce of equal-length vectors (one slot per work group;
+/// used by the level-parallel bisection partitioners).
+template <typename T, typename BinaryOp>
+std::vector<T> allreduce_vec(Process& p, const std::vector<T>& value,
+                             BinaryOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  m.bb_put(p.rank(), &value);
+  p.barrier_sync_only();
+  std::vector<T> acc = *static_cast<const std::vector<T>*>(m.bb_get(0));
+  for (int r = 1; r < p.nprocs(); ++r) {
+    const auto& other = *static_cast<const std::vector<T>*>(m.bb_get(r));
+    CHAOS_CHECK(other.size() == acc.size(),
+                "allreduce_vec: ranks disagree on vector length");
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], other[i]);
+  }
+  p.barrier_sync_only();
+  detail::clock_sync_max(
+      p, p.params().small_collective_us(
+             p.nprocs(), static_cast<i64>(acc.size() * sizeof(T))));
+  return acc;
+}
+
+/// Exclusive prefix sum over ranks (rank r receives sum of values 0..r-1).
+template <typename T>
+T exscan_sum(Process& p, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  m.bb_put(p.rank(), &value);
+  p.barrier_sync_only();
+  T acc{};
+  for (int r = 0; r < p.rank(); ++r) {
+    acc = acc + *static_cast<const T*>(m.bb_get(r));
+  }
+  p.barrier_sync_only();
+  detail::clock_sync_max(p, p.params().small_collective_us(
+                                p.nprocs(), static_cast<i64>(sizeof(T))));
+  return acc;
+}
+
+/// Gather one value from every rank; every rank receives the full array.
+template <typename T>
+std::vector<T> allgather(Process& p, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  m.bb_put(p.rank(), &value);
+  p.barrier_sync_only();
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(p.nprocs()));
+  for (int r = 0; r < p.nprocs(); ++r) {
+    out.push_back(*static_cast<const T*>(m.bb_get(r)));
+  }
+  p.barrier_sync_only();
+  detail::clock_sync_max(
+      p, p.params().small_collective_us(
+             p.nprocs(), static_cast<i64>(p.nprocs()) *
+                             static_cast<i64>(sizeof(T))));
+  return out;
+}
+
+/// Variable-length allgather: concatenates every rank's span in rank order.
+/// @p offsets_out (optional) receives the start offset of each rank's block.
+template <typename T>
+std::vector<T> allgatherv(Process& p, std::span<const T> local,
+                          std::vector<i64>* offsets_out = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  m.bb_put(p.rank(), &local);
+  p.barrier_sync_only();
+  std::vector<T> out;
+  std::vector<i64> offsets(static_cast<std::size_t>(p.nprocs()) + 1, 0);
+  for (int r = 0; r < p.nprocs(); ++r) {
+    const auto& sp = *static_cast<const std::span<const T>*>(m.bb_get(r));
+    offsets[static_cast<std::size_t>(r) + 1] =
+        offsets[static_cast<std::size_t>(r)] + static_cast<i64>(sp.size());
+    out.insert(out.end(), sp.begin(), sp.end());
+  }
+  p.barrier_sync_only();
+  detail::clock_sync_max(
+      p, p.params().small_collective_us(
+             p.nprocs(), static_cast<i64>(out.size() * sizeof(T))));
+  if (offsets_out) *offsets_out = std::move(offsets);
+  return out;
+}
+
+/// Personalized all-to-all: @p send[d] goes to rank d; the result's slot [s]
+/// holds what rank s sent here. The workhorse of every CHAOS exchange.
+template <typename T>
+std::vector<std::vector<T>> alltoallv(Process& p,
+                                      const std::vector<std::vector<T>>& send) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CHAOS_CHECK(static_cast<int>(send.size()) == p.nprocs(),
+              "alltoallv: send buffer list must have one entry per rank");
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  m.bb_put(p.rank(), &send);
+  p.barrier_sync_only();
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(p.nprocs()));
+  for (int s = 0; s < p.nprocs(); ++s) {
+    const auto& sb =
+        *static_cast<const std::vector<std::vector<T>>*>(m.bb_get(s));
+    out[static_cast<std::size_t>(s)] = sb[static_cast<std::size_t>(p.rank())];
+  }
+  p.barrier_sync_only();
+
+  // BSP superstep charge: equalize, then pay per nonempty message each way.
+  detail::clock_sync_max(p, 0.0);
+  const CostParams& c = p.params();
+  for (int d = 0; d < p.nprocs(); ++d) {
+    if (d == p.rank()) continue;
+    const i64 bytes =
+        static_cast<i64>(send[static_cast<std::size_t>(d)].size() * sizeof(T));
+    if (bytes > 0 || !send[static_cast<std::size_t>(d)].empty()) {
+      p.clock().charge(c.send_us(bytes));
+      p.stats().note_send(bytes);
+    }
+  }
+  for (int s = 0; s < p.nprocs(); ++s) {
+    if (s == p.rank()) continue;
+    const i64 bytes =
+        static_cast<i64>(out[static_cast<std::size_t>(s)].size() * sizeof(T));
+    if (bytes > 0) {
+      p.clock().charge(c.recv_us(bytes));
+      p.stats().note_recv(bytes);
+    }
+  }
+  return out;
+}
+
+/// Gather variable-length blocks to @p root (others receive an empty vector;
+/// @p offsets_out is filled on the root only).
+template <typename T>
+std::vector<T> gatherv(Process& p, std::span<const T> local, int root = 0,
+                       std::vector<i64>* offsets_out = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  m.bb_put(p.rank(), &local);
+  p.barrier_sync_only();
+  std::vector<T> out;
+  if (p.rank() == root) {
+    std::vector<i64> offsets(static_cast<std::size_t>(p.nprocs()) + 1, 0);
+    for (int r = 0; r < p.nprocs(); ++r) {
+      const auto& sp = *static_cast<const std::span<const T>*>(m.bb_get(r));
+      offsets[static_cast<std::size_t>(r) + 1] =
+          offsets[static_cast<std::size_t>(r)] + static_cast<i64>(sp.size());
+      out.insert(out.end(), sp.begin(), sp.end());
+    }
+    if (offsets_out) *offsets_out = std::move(offsets);
+  }
+  p.barrier_sync_only();
+  detail::clock_sync_max(p, 0.0);
+  const CostParams& c = p.params();
+  const i64 my_bytes = static_cast<i64>(local.size_bytes());
+  if (p.rank() != root) {
+    p.clock().charge(c.send_us(my_bytes));
+    p.stats().note_send(my_bytes);
+  } else {
+    for (int r = 0; r < p.nprocs(); ++r) {
+      if (r == root) continue;
+      const auto& sp = *static_cast<const std::span<const T>*>(m.bb_get(r));
+      const i64 bytes = static_cast<i64>(sp.size_bytes());
+      p.clock().charge(c.recv_us(bytes));
+      p.stats().note_recv(bytes);
+    }
+  }
+  p.barrier_sync_only();
+  return out;
+}
+
+/// Scatter variable-length blocks from @p root: rank r receives blocks[r].
+template <typename T>
+std::vector<T> scatterv(Process& p, const std::vector<std::vector<T>>& blocks,
+                        int root = 0) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  if (p.rank() == root) {
+    CHAOS_CHECK(static_cast<int>(blocks.size()) == p.nprocs(),
+                "scatterv: need one block per rank");
+    m.bb_put(p.rank(), &blocks);
+  }
+  p.barrier_sync_only();
+  const auto& all =
+      *static_cast<const std::vector<std::vector<T>>*>(m.bb_get(root));
+  std::vector<T> out = all[static_cast<std::size_t>(p.rank())];
+  p.barrier_sync_only();
+  detail::clock_sync_max(p, 0.0);
+  const CostParams& c = p.params();
+  const i64 bytes = static_cast<i64>(out.size() * sizeof(T));
+  if (p.rank() == root) {
+    for (int r = 0; r < p.nprocs(); ++r) {
+      if (r == root) continue;
+      const i64 b =
+          static_cast<i64>(all[static_cast<std::size_t>(r)].size() * sizeof(T));
+      p.clock().charge(c.send_us(b));
+      p.stats().note_send(b);
+    }
+  } else {
+    p.clock().charge(c.recv_us(bytes));
+    p.stats().note_recv(bytes);
+  }
+  p.barrier_sync_only();
+  return out;
+}
+
+/// Mints a machine-wide unique id, identical on every rank (rank 0 bumps the
+/// machine counter and broadcasts). Used for DAD incarnations and loop ids.
+inline u64 collective_counter(Process& p) {
+  u64 v = 0;
+  if (p.is_root()) v = p.machine().bump_counter();
+  return broadcast(p, v, 0);
+}
+
+}  // namespace chaos::rt

@@ -1,0 +1,91 @@
+// Deterministic cost model standing in for the Intel iPSC/860 hypercube used
+// in the paper's evaluation (see DESIGN.md §2). Each logical process carries a
+// VirtualClock; runtime operations charge it with modeled microseconds.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "rt/types.hpp"
+
+namespace chaos::rt {
+
+/// Machine parameters of the simulated target. Defaults approximate an Intel
+/// iPSC/860 node: ~136 us message startup, ~2.8 MB/s sustained channel
+/// bandwidth, and an effective irregular-kernel compute rate of ~5 MFLOPS
+/// (the i860 sustained far below peak on gather/scatter codes).
+struct CostParams {
+  f64 alpha_send_us = 136.0;   ///< per-message startup cost on the sender
+  f64 alpha_recv_us = 68.0;    ///< per-message overhead on the receiver
+  f64 beta_us_per_byte = 0.36; ///< per-byte transfer cost (~2.8 MB/s)
+  f64 flop_us = 0.2;           ///< one floating-point op in irregular code
+  f64 mem_us_per_word = 0.06;  ///< one indirect (gather/scatter) word access
+  f64 barrier_hop_us = 150.0;  ///< per-hypercube-dimension barrier cost
+
+  /// Cost of a barrier among @p nprocs processes (log2 hops on a hypercube).
+  [[nodiscard]] f64 barrier_us(int nprocs) const {
+    return barrier_hop_us * hops(nprocs);
+  }
+
+  /// Cost of one point-to-point message of @p bytes as seen by the sender.
+  [[nodiscard]] f64 send_us(i64 bytes) const {
+    return alpha_send_us + beta_us_per_byte * static_cast<f64>(bytes);
+  }
+
+  /// Cost of receiving one message of @p bytes.
+  [[nodiscard]] f64 recv_us(i64 bytes) const {
+    return alpha_recv_us + beta_us_per_byte * static_cast<f64>(bytes);
+  }
+
+  /// Cost of a small-payload recursive-doubling collective (allreduce,
+  /// small broadcast): one message exchange per hypercube dimension.
+  [[nodiscard]] f64 small_collective_us(int nprocs, i64 bytes) const {
+    return hops(nprocs) * (alpha_send_us + alpha_recv_us +
+                           beta_us_per_byte * static_cast<f64>(bytes));
+  }
+
+  static f64 hops(int nprocs) {
+    return nprocs <= 1 ? 0.0 : std::ceil(std::log2(static_cast<f64>(nprocs)));
+  }
+};
+
+/// Per-process virtual time. Deterministic: advanced only by explicit charges
+/// derived from message sizes and operation counts, never by wall-clock.
+class VirtualClock {
+ public:
+  /// Adds @p us of modeled local work or communication time.
+  void charge(f64 us) { now_us_ += us; }
+
+  /// Charges @p n operations at @p per_op_us each.
+  void charge_ops(i64 n, f64 per_op_us) {
+    now_us_ += static_cast<f64>(n) * per_op_us;
+  }
+
+  /// Ensures the clock is at least @p us (message-arrival coupling).
+  void advance_to(f64 us) { now_us_ = std::max(now_us_, us); }
+
+  [[nodiscard]] f64 now_us() const { return now_us_; }
+  [[nodiscard]] f64 now_sec() const { return now_us_ * 1e-6; }
+  void reset() { now_us_ = 0.0; }
+
+ private:
+  f64 now_us_ = 0.0;
+};
+
+/// A labelled interval of virtual time; used by benches to attribute cost to
+/// pipeline phases (partitioner / inspector / remap / executor).
+class ClockSection {
+ public:
+  explicit ClockSection(const VirtualClock& clock)
+      : clock_(&clock), start_us_(clock.now_us()) {}
+
+  /// Virtual microseconds elapsed since construction.
+  [[nodiscard]] f64 elapsed_us() const { return clock_->now_us() - start_us_; }
+  [[nodiscard]] f64 elapsed_sec() const { return elapsed_us() * 1e-6; }
+
+ private:
+  const VirtualClock* clock_;
+  f64 start_us_;
+};
+
+}  // namespace chaos::rt

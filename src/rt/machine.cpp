@@ -1,0 +1,102 @@
+#include "rt/machine.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace chaos::rt {
+
+Machine::Machine(int nprocs, CostParams params)
+    : nprocs_(nprocs),
+      params_(params),
+      bb_slots_(static_cast<std::size_t>(nprocs), nullptr),
+      clock_slots_(static_cast<std::size_t>(nprocs), 0.0),
+      stats_(static_cast<std::size_t>(nprocs)),
+      final_clock_us_(static_cast<std::size_t>(nprocs), 0.0) {
+  CHAOS_CHECK(nprocs >= 1, "machine needs at least one process");
+  mailboxes_.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Machine::~Machine() = default;
+
+void Machine::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  if (poisoned_) throw ChaosError("machine poisoned: a sibling rank threw");
+  const bool my_sense = barrier_sense_;
+  if (++barrier_arrived_ == nprocs_) {
+    barrier_arrived_ = 0;
+    barrier_sense_ = !barrier_sense_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock,
+                   [&] { return barrier_sense_ != my_sense || poisoned_; });
+  if (poisoned_) throw ChaosError("machine poisoned: a sibling rank threw");
+}
+
+void Machine::run(const std::function<void(Process&)>& body) {
+  // Reset shared state so a Machine can host several SPMD regions.
+  barrier_arrived_ = 0;
+  barrier_sense_ = false;
+  poisoned_ = false;
+  for (auto& s : stats_) s = MessageStats{};
+  for (auto& c : final_clock_us_) c = 0.0;
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&](int rank) {
+    Process proc(*this, rank);
+    try {
+      body(proc);
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Release ranks blocked in the barrier so run() can return.
+      std::lock_guard lock(barrier_mutex_);
+      poisoned_ = true;
+      barrier_cv_.notify_all();
+    }
+    stats_[static_cast<std::size_t>(rank)] = proc.stats();
+    final_clock_us_[static_cast<std::size_t>(rank)] = proc.clock().now_us();
+  };
+
+  if (nprocs_ == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nprocs_));
+    for (int r = 0; r < nprocs_; ++r) threads.emplace_back(worker, r);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Machine::run(int nprocs, const std::function<void(Process&)>& body,
+                  CostParams params) {
+  Machine machine(nprocs, params);
+  machine.run(body);
+}
+
+MessageStats Machine::total_stats() const {
+  MessageStats total;
+  for (const auto& s : stats_) total += s;
+  return total;
+}
+
+const MessageStats& Machine::stats_of(int rank) const {
+  CHAOS_CHECK(rank >= 0 && rank < nprocs_, "stats_of: bad rank");
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+f64 Machine::max_virtual_time_us() const {
+  f64 t = 0.0;
+  for (f64 c : final_clock_us_) t = std::max(t, c);
+  return t;
+}
+
+}  // namespace chaos::rt

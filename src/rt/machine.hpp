@@ -1,0 +1,175 @@
+// The virtual distributed-memory machine. Machine::run launches P logical
+// SPMD processes (one std::thread each); each receives a Process& handle that
+// exposes rank/size, typed point-to-point messaging, a shared blackboard used
+// by the collective templates in rt/collectives.hpp, a VirtualClock, and
+// traffic statistics. This substrate substitutes for the paper's Intel
+// iPSC/860 hypercube (DESIGN.md §2).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "rt/cost_model.hpp"
+#include "rt/mailbox.hpp"
+#include "rt/stats.hpp"
+#include "rt/types.hpp"
+
+namespace chaos::rt {
+
+class Process;
+
+/// Owns the shared state of one SPMD execution: mailboxes, the central
+/// barrier, blackboard slots for collectives, and cost parameters.
+class Machine {
+ public:
+  explicit Machine(int nprocs, CostParams params = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Runs @p body as rank 0..nprocs-1 concurrently; returns when all ranks
+  /// finish. The first exception thrown by any rank is rethrown here (other
+  /// ranks may deadlock in that case, so the machine releases them via a
+  /// poisoned barrier).
+  void run(const std::function<void(Process&)>& body);
+
+  /// One-shot convenience: construct, run, tear down.
+  static void run(int nprocs, const std::function<void(Process&)>& body,
+                  CostParams params = {});
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] const CostParams& params() const { return params_; }
+
+  /// Aggregated per-process statistics of the last run().
+  [[nodiscard]] MessageStats total_stats() const;
+  [[nodiscard]] const MessageStats& stats_of(int rank) const;
+  /// Maximum virtual time over all processes at the end of the last run().
+  [[nodiscard]] f64 max_virtual_time_us() const;
+
+  // --- internals shared with Process / collectives -------------------------
+
+  /// Central sense-reversing barrier over all logical processes.
+  void barrier_wait();
+
+  /// Blackboard: a per-rank pointer slot published between two barriers.
+  void bb_put(int rank, const void* p) { bb_slots_[rank] = p; }
+  [[nodiscard]] const void* bb_get(int rank) const { return bb_slots_[rank]; }
+
+  /// Per-rank double slot (used for virtual-clock max-synchronization).
+  void clock_put(int rank, f64 v) { clock_slots_[rank] = v; }
+  [[nodiscard]] f64 clock_get(int rank) const { return clock_slots_[rank]; }
+
+  Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  /// Monotonic counter advanced collectively (rank 0 bumps, all observe);
+  /// used to mint machine-wide unique ids such as DAD incarnations.
+  u64 bump_counter() { return ++counter_; }
+
+ private:
+  int nprocs_;
+  CostParams params_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<const void*> bb_slots_;
+  std::vector<f64> clock_slots_;
+  std::vector<MessageStats> stats_;
+  std::vector<f64> final_clock_us_;
+  u64 counter_ = 0;
+
+  // Sense-reversing barrier state.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  bool barrier_sense_ = false;
+  bool poisoned_ = false;
+
+  friend class Process;
+};
+
+/// Per-rank handle passed to SPMD bodies. Not thread-safe across ranks; each
+/// rank uses only its own Process.
+class Process {
+ public:
+  Process(Machine& machine, int rank)
+      : machine_(&machine), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const { return machine_->nprocs(); }
+  [[nodiscard]] bool is_root() const { return rank_ == 0; }
+  [[nodiscard]] Machine& machine() { return *machine_; }
+  [[nodiscard]] const CostParams& params() const { return machine_->params(); }
+
+  VirtualClock& clock() { return clock_; }
+  [[nodiscard]] const VirtualClock& clock() const { return clock_; }
+  MessageStats& stats() { return stats_; }
+
+  /// Sends @p data to @p dest with matching @p tag. T must be trivially
+  /// copyable (messages cross logical address spaces by value).
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CHAOS_CHECK(dest >= 0 && dest < nprocs(), "send: bad destination rank");
+    const i64 bytes = static_cast<i64>(data.size_bytes());
+    clock_.charge(params().send_us(bytes));
+    stats_.note_send(bytes);
+    RawMessage msg;
+    msg.source = rank_;
+    msg.tag = tag;
+    msg.ready_time_us = clock_.now_us();
+    msg.payload.resize(data.size_bytes());
+    if (!data.empty()) {
+      std::memcpy(msg.payload.data(), data.data(), data.size_bytes());
+    }
+    machine_->mailbox(dest).put(std::move(msg));
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send<T>(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Blocking matched receive of a whole message from @p source.
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CHAOS_CHECK(source >= 0 && source < nprocs(), "recv: bad source rank");
+    RawMessage msg = machine_->mailbox(rank_).take(source, tag);
+    CHAOS_CHECK(msg.payload.size() % sizeof(T) == 0,
+                "recv: payload size does not match element type");
+    const i64 bytes = static_cast<i64>(msg.payload.size());
+    clock_.advance_to(msg.ready_time_us);
+    clock_.charge(params().recv_us(bytes));
+    stats_.note_recv(bytes);
+    std::vector<T> out(msg.payload.size() / sizeof(T));
+    if (!out.empty()) {
+      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    }
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag) {
+    auto v = recv<T>(source, tag);
+    CHAOS_CHECK(v.size() == 1, "recv_value: expected single-element message");
+    return v.front();
+  }
+
+  /// Raw synchronization barrier with no clock charge (building block for
+  /// the collectives; user code should call collectives::barrier instead).
+  void barrier_sync_only() {
+    ++stats_.barriers;
+    machine_->barrier_wait();
+  }
+
+ private:
+  Machine* machine_;
+  int rank_;
+  VirtualClock clock_;
+  MessageStats stats_;
+};
+
+}  // namespace chaos::rt

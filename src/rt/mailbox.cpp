@@ -1,0 +1,44 @@
+#include "rt/mailbox.hpp"
+
+namespace chaos::rt {
+
+void Mailbox::put(RawMessage msg) {
+  {
+    std::lock_guard lock(mutex_);
+    queues_[{msg.source, msg.tag}].push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+RawMessage Mailbox::take(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  const Key key{source, tag};
+  cv_.wait(lock, [&] {
+    auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  });
+  auto it = queues_.find(key);
+  RawMessage msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return msg;
+}
+
+bool Mailbox::try_take(int source, int tag, RawMessage& out) {
+  std::lock_guard lock(mutex_);
+  auto it = queues_.find({source, tag});
+  if (it == queues_.end() || it->second.empty()) return false;
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return true;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, q] : queues_) n += q.size();
+  return n;
+}
+
+}  // namespace chaos::rt

@@ -1,0 +1,53 @@
+// Point-to-point message queues backing the virtual distributed machine.
+// One Mailbox per logical process; senders deposit, the owner blocks on
+// (source, tag) matched receives. Per-(source, tag) FIFO order is preserved,
+// which makes message matching deterministic for deterministic senders.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "rt/types.hpp"
+
+namespace chaos::rt {
+
+/// An untyped in-flight message. @c ready_time_us is the sender's virtual
+/// time at which the message is fully on the wire; receivers advance their
+/// clock to at least this value, modeling sender/receiver time coupling.
+struct RawMessage {
+  int source = -1;
+  int tag = 0;
+  f64 ready_time_us = 0.0;
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe matched-receive queue for one logical process.
+class Mailbox {
+ public:
+  /// Deposits a message; wakes any receiver blocked on its (source, tag).
+  void put(RawMessage msg);
+
+  /// Blocks until a message from @p source with @p tag is available and
+  /// removes it from the queue.
+  RawMessage take(int source, int tag);
+
+  /// Non-blocking variant; returns false if no matching message is queued.
+  bool try_take(int source, int tag, RawMessage& out);
+
+  /// Number of queued messages across all (source, tag) keys.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  using Key = std::pair<int, int>;  // (source, tag)
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<RawMessage>> queues_;
+};
+
+}  // namespace chaos::rt

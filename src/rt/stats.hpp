@@ -1,0 +1,40 @@
+// Message-traffic counters, kept per logical process and aggregated by the
+// Machine. Used by benches to report message counts / volumes alongside
+// modeled times.
+#pragma once
+
+#include "rt/types.hpp"
+
+namespace chaos::rt {
+
+/// Plain per-process counters (each process only touches its own instance, so
+/// no atomics are needed; aggregation happens after the SPMD region joins).
+struct MessageStats {
+  i64 messages_sent = 0;
+  i64 bytes_sent = 0;
+  i64 messages_received = 0;
+  i64 bytes_received = 0;
+  i64 collectives = 0;
+  i64 barriers = 0;
+
+  void note_send(i64 bytes) {
+    ++messages_sent;
+    bytes_sent += bytes;
+  }
+  void note_recv(i64 bytes) {
+    ++messages_received;
+    bytes_received += bytes;
+  }
+
+  MessageStats& operator+=(const MessageStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
+    bytes_received += o.bytes_received;
+    collectives += o.collectives;
+    barriers += o.barriers;
+    return *this;
+  }
+};
+
+}  // namespace chaos::rt

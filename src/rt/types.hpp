@@ -1,0 +1,47 @@
+// Common fixed-width aliases and error-checking helpers shared by every
+// chaos-rt module.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chaos {
+
+using i8 = std::int8_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using f64 = double;
+
+/// Thrown on any violated runtime-library precondition or internal invariant.
+class ChaosError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const std::string& msg,
+                                      const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw ChaosError(os.str());
+}
+}  // namespace detail
+
+/// Always-on invariant check (irregular-access bookkeeping bugs corrupt data
+/// silently; the cost of these branches is negligible next to communication).
+#define CHAOS_CHECK(expr, ...)                                           \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::chaos::detail::check_failed(#expr, ::std::string{__VA_ARGS__},   \
+                                    ::std::source_location::current());  \
+    }                                                                    \
+  } while (0)
+
+}  // namespace chaos

@@ -1,0 +1,123 @@
+#include "workload/md.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "workload/rng.hpp"
+
+namespace chaos::wl {
+
+MdSystem make_water_box(i64 molecules_per_side, f64 cutoff, u64 seed) {
+  CHAOS_CHECK(molecules_per_side >= 1, "md: need at least one molecule");
+  CHAOS_CHECK(cutoff > 0.0, "md: cutoff must be positive");
+
+  MdSystem s;
+  const i64 nmol = molecules_per_side * molecules_per_side * molecules_per_side;
+  s.natoms = 3 * nmol;
+  s.cutoff = cutoff;
+  // Liquid water: one molecule per ~(3.104 A)^3.
+  constexpr f64 kSpacing = 3.104;
+  s.box = kSpacing * static_cast<f64>(molecules_per_side);
+
+  s.x.reserve(static_cast<std::size_t>(s.natoms));
+  s.y.reserve(static_cast<std::size_t>(s.natoms));
+  s.z.reserve(static_cast<std::size_t>(s.natoms));
+  s.charge.reserve(static_cast<std::size_t>(s.natoms));
+
+  Rng rng(seed);
+  constexpr f64 kOH = 0.9572;       // O-H bond length (A)
+  constexpr f64 kQO = -0.834;       // TIP3P charges
+  constexpr f64 kQH = 0.417;
+
+  auto wrap = [&](f64 v) {
+    while (v < 0.0) v += s.box;
+    while (v >= s.box) v -= s.box;
+    return v;
+  };
+
+  for (i64 k = 0; k < molecules_per_side; ++k) {
+    for (i64 j = 0; j < molecules_per_side; ++j) {
+      for (i64 i = 0; i < molecules_per_side; ++i) {
+        const f64 ox = wrap((static_cast<f64>(i) + 0.5) * kSpacing +
+                            rng.uniform(-0.35, 0.35));
+        const f64 oy = wrap((static_cast<f64>(j) + 0.5) * kSpacing +
+                            rng.uniform(-0.35, 0.35));
+        const f64 oz = wrap((static_cast<f64>(k) + 0.5) * kSpacing +
+                            rng.uniform(-0.35, 0.35));
+        // Random molecular orientation: two H at the water bond angle.
+        const f64 theta = rng.uniform(0.0, 2.0 * M_PI);
+        const f64 phi = std::acos(rng.uniform(-1.0, 1.0));
+        const f64 ax = std::sin(phi) * std::cos(theta);
+        const f64 ay = std::sin(phi) * std::sin(theta);
+        const f64 az = std::cos(phi);
+        // A second direction at ~104.5 degrees from the first, in the plane
+        // spanned with a random helper vector.
+        const f64 psi = rng.uniform(0.0, 2.0 * M_PI);
+        f64 hx = std::cos(psi), hy = std::sin(psi), hz = 0.13;
+        // Gram-Schmidt the helper against the first axis.
+        const f64 dot = hx * ax + hy * ay + hz * az;
+        hx -= dot * ax;
+        hy -= dot * ay;
+        hz -= dot * az;
+        const f64 hn = std::sqrt(hx * hx + hy * hy + hz * hz);
+        hx /= hn;
+        hy /= hn;
+        hz /= hn;
+        constexpr f64 kHalfAngle = 104.52 * M_PI / 180.0 / 2.0;
+        const f64 c = std::cos(kHalfAngle), sn = std::sin(kHalfAngle);
+
+        s.x.push_back(ox);
+        s.y.push_back(oy);
+        s.z.push_back(oz);
+        s.charge.push_back(kQO);
+        s.x.push_back(wrap(ox + kOH * (c * ax + sn * hx)));
+        s.y.push_back(wrap(oy + kOH * (c * ay + sn * hy)));
+        s.z.push_back(wrap(oz + kOH * (c * az + sn * hz)));
+        s.charge.push_back(kQH);
+        s.x.push_back(wrap(ox + kOH * (c * ax - sn * hx)));
+        s.y.push_back(wrap(oy + kOH * (c * ay - sn * hy)));
+        s.z.push_back(wrap(oz + kOH * (c * az - sn * hz)));
+        s.charge.push_back(kQH);
+      }
+    }
+  }
+
+  // Cutoff neighbor list with minimum-image periodic distances, excluding
+  // intramolecular pairs (atoms 3m, 3m+1, 3m+2 belong to molecule m).
+  const f64 rc2 = cutoff * cutoff;
+  auto min_image = [&](f64 d) {
+    if (d > 0.5 * s.box) d -= s.box;
+    if (d < -0.5 * s.box) d += s.box;
+    return d;
+  };
+  for (i64 a = 0; a < s.natoms; ++a) {
+    for (i64 b = a + 1; b < s.natoms; ++b) {
+      if (a / 3 == b / 3) continue;
+      const f64 dx = min_image(s.x[static_cast<std::size_t>(a)] -
+                               s.x[static_cast<std::size_t>(b)]);
+      const f64 dy = min_image(s.y[static_cast<std::size_t>(a)] -
+                               s.y[static_cast<std::size_t>(b)]);
+      const f64 dz = min_image(s.z[static_cast<std::size_t>(a)] -
+                               s.z[static_cast<std::size_t>(b)]);
+      if (dx * dx + dy * dy + dz * dz < rc2) {
+        s.pair1.push_back(a);
+        s.pair2.push_back(b);
+      }
+    }
+  }
+  s.npairs = static_cast<i64>(s.pair1.size());
+
+  // Shuffle the pair list: neighbor-list order in real MD codes does not
+  // follow atom numbering.
+  for (i64 e = s.npairs - 1; e > 0; --e) {
+    const i64 f = rng.below(e + 1);
+    std::swap(s.pair1[static_cast<std::size_t>(e)],
+              s.pair1[static_cast<std::size_t>(f)]);
+    std::swap(s.pair2[static_cast<std::size_t>(e)],
+              s.pair2[static_cast<std::size_t>(f)]);
+  }
+  return s;
+}
+
+}  // namespace chaos::wl

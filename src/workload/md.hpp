@@ -1,0 +1,29 @@
+// Synthetic molecular-dynamics workload standing in for the paper's CHARMM
+// 648-atom water simulation: a 216-molecule (648-atom) water box with a
+// cutoff neighbor pair list. The electrostatic force loop sweeps the pair
+// list exactly like loop L2 sweeps mesh edges.
+#pragma once
+
+#include <vector>
+
+#include "rt/types.hpp"
+
+namespace chaos::wl {
+
+struct MdSystem {
+  i64 natoms = 0;
+  i64 npairs = 0;
+  std::vector<f64> x, y, z;      ///< atom coordinates (Angstrom)
+  std::vector<f64> charge;       ///< partial charges (e)
+  std::vector<i64> pair1, pair2; ///< neighbor list (global atom ids)
+  f64 box = 0.0;                 ///< cubic box edge length
+  f64 cutoff = 0.0;
+};
+
+/// Builds an n×n×n-molecule water box (3 atoms per molecule) with the given
+/// cutoff (Angstrom). Defaults model the paper's 648-atom system: 6×6×6
+/// molecules at liquid-water density with an 8 A cutoff.
+[[nodiscard]] MdSystem make_water_box(i64 molecules_per_side = 6,
+                                      f64 cutoff = 8.0, u64 seed = 99);
+
+}  // namespace chaos::wl

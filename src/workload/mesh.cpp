@@ -1,0 +1,117 @@
+#include "workload/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "workload/rng.hpp"
+
+namespace chaos::wl {
+
+namespace {
+
+/// Fisher–Yates with our deterministic RNG.
+std::vector<i64> random_permutation(i64 n, Rng& rng) {
+  std::vector<i64> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (i64 i = n - 1; i > 0; --i) {
+    const i64 j = rng.below(i + 1);
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+Mesh make_tet_mesh(i64 nx, i64 ny, i64 nz, u64 seed, f64 jitter,
+                   bool renumber) {
+  CHAOS_CHECK(nx >= 2 && ny >= 2 && nz >= 2, "mesh: need at least 2^3 nodes");
+  Mesh m;
+  m.nnodes = nx * ny * nz;
+  m.x.resize(static_cast<std::size_t>(m.nnodes));
+  m.y.resize(static_cast<std::size_t>(m.nnodes));
+  m.z.resize(static_cast<std::size_t>(m.nnodes));
+
+  Rng rng(seed);
+  auto node = [&](i64 i, i64 j, i64 k) { return (k * ny + j) * nx + i; };
+
+  // Real unstructured meshes are not axis-aligned: rotate the jittered grid
+  // by a fixed generic rotation (30 deg about z, then 25 deg about y) so the
+  // coordinate axes carry no special relationship to the connectivity.
+  constexpr f64 kA = 30.0 * M_PI / 180.0;
+  constexpr f64 kB = 25.0 * M_PI / 180.0;
+  const f64 ca = std::cos(kA), sa = std::sin(kA);
+  const f64 cb = std::cos(kB), sb = std::sin(kB);
+  for (i64 k = 0; k < nz; ++k) {
+    for (i64 j = 0; j < ny; ++j) {
+      for (i64 i = 0; i < nx; ++i) {
+        const auto id = static_cast<std::size_t>(node(i, j, k));
+        const f64 gx = static_cast<f64>(i) + rng.uniform(-jitter, jitter);
+        const f64 gy = static_cast<f64>(j) + rng.uniform(-jitter, jitter);
+        const f64 gz = static_cast<f64>(k) + rng.uniform(-jitter, jitter);
+        const f64 rx = ca * gx - sa * gy;
+        const f64 ry = sa * gx + ca * gy;
+        m.x[id] = cb * rx + sb * gz;
+        m.y[id] = ry;
+        m.z[id] = -sb * rx + cb * gz;
+      }
+    }
+  }
+
+  // Kuhn subdivision of each grid cell into six tetrahedra around the main
+  // diagonal. The resulting undirected edge set per cell is: the three axis
+  // edges, the three face diagonals through the main-diagonal corner pair,
+  // and the main diagonal itself. Emitting the seven "positive" offsets per
+  // node (clipped at the boundary) produces exactly that union with no
+  // duplicates.
+  constexpr i64 kOffsets[7][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 0},
+                                  {0, 1, 1}, {1, 0, 1}, {1, 1, 1}};
+  for (i64 k = 0; k < nz; ++k) {
+    for (i64 j = 0; j < ny; ++j) {
+      for (i64 i = 0; i < nx; ++i) {
+        for (const auto& off : kOffsets) {
+          const i64 ii = i + off[0], jj = j + off[1], kk = k + off[2];
+          if (ii >= nx || jj >= ny || kk >= nz) continue;
+          m.edge1.push_back(node(i, j, k));
+          m.edge2.push_back(node(ii, jj, kk));
+        }
+      }
+    }
+  }
+  m.nedges = static_cast<i64>(m.edge1.size());
+
+  if (renumber) {
+    const auto perm = random_permutation(m.nnodes, rng);
+    std::vector<f64> nx_(m.x.size()), ny_(m.y.size()), nz_(m.z.size());
+    for (i64 old = 0; old < m.nnodes; ++old) {
+      const auto fresh = static_cast<std::size_t>(perm[static_cast<std::size_t>(old)]);
+      nx_[fresh] = m.x[static_cast<std::size_t>(old)];
+      ny_[fresh] = m.y[static_cast<std::size_t>(old)];
+      nz_[fresh] = m.z[static_cast<std::size_t>(old)];
+    }
+    m.x = std::move(nx_);
+    m.y = std::move(ny_);
+    m.z = std::move(nz_);
+    for (auto& e : m.edge1) e = perm[static_cast<std::size_t>(e)];
+    for (auto& e : m.edge2) e = perm[static_cast<std::size_t>(e)];
+    // Shuffle the edge order too: iteration order should not accidentally
+    // correlate with locality either.
+    for (i64 e = m.nedges - 1; e > 0; --e) {
+      const i64 f = rng.below(e + 1);
+      std::swap(m.edge1[static_cast<std::size_t>(e)],
+                m.edge1[static_cast<std::size_t>(f)]);
+      std::swap(m.edge2[static_cast<std::size_t>(e)],
+                m.edge2[static_cast<std::size_t>(f)]);
+    }
+  }
+  return m;
+}
+
+Mesh mesh_10k(u64 seed) { return make_tet_mesh(22, 22, 22, seed); }
+
+Mesh mesh_53k(u64 seed) { return make_tet_mesh(38, 38, 37, seed); }
+
+Mesh mesh_tiny(u64 seed) { return make_tet_mesh(5, 4, 3, seed); }
+
+}  // namespace chaos::wl

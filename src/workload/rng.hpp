@@ -1,0 +1,46 @@
+// Deterministic, seedable RNG (splitmix64) so every process can generate an
+// identical workload without communication, and every run of a bench is
+// reproducible.
+#pragma once
+
+#include "rt/types.hpp"
+
+namespace chaos::wl {
+
+constexpr u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) : state_(seed) {}
+
+  u64 next_u64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    u64 z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  f64 next_f64() {
+    return static_cast<f64>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  f64 uniform(f64 lo, f64 hi) { return lo + (hi - lo) * next_f64(); }
+
+  /// Uniform integer in [0, n).
+  i64 below(i64 n) {
+    return static_cast<i64>(next_u64() % static_cast<u64>(n));
+  }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace chaos::wl

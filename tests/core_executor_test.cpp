@@ -1,0 +1,190 @@
+// Executor data movers: gather / scatter-reduce / scatter-assign must agree
+// with a serial reference for arbitrary reference patterns.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/inspector.hpp"
+#include "dist/darray.hpp"
+#include "rt/collectives.hpp"
+#include "workload/rng.hpp"
+
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
+namespace core = chaos::core;
+using chaos::f64;
+using chaos::i64;
+
+namespace {
+
+std::vector<i64> make_refs(int rank, i64 n, i64 count, chaos::u64 seed) {
+  chaos::wl::Rng rng(seed + static_cast<chaos::u64>(rank) * 31);
+  std::vector<i64> refs(static_cast<std::size_t>(count));
+  for (auto& r : refs) r = rng.below(n);
+  return refs;
+}
+
+}  // namespace
+
+class ExecutorSweep : public ::testing::TestWithParam<std::tuple<i64, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(SizesProcs, ExecutorSweep,
+                         ::testing::Combine(::testing::Values<i64>(6, 64, 301),
+                                            ::testing::Values(1, 2, 4, 8)),
+                         [](const auto& info) {
+                           return "N" + std::to_string(std::get<0>(info.param)) +
+                                  "_P" + std::to_string(std::get<1>(info.param));
+                         });
+
+TEST_P(ExecutorSweep, ScatterAddMatchesSerialReference) {
+  const auto [n, P] = GetParam();
+  rt::Machine::run(P, [&, n = n](rt::Process& p) {
+    auto d = dist::Distribution::cyclic(p, n);
+    dist::DistributedArray<f64> y(p, d, 0.0);
+
+    // Every rank accumulates +g into y(g) for each of its references.
+    const auto refs = make_refs(p.rank(), n, 4 * n, 23);
+    auto loc = core::localize(p, *d, refs);
+
+    std::vector<f64> ghost_acc(static_cast<std::size_t>(loc.schedule.nghost),
+                               0.0);
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const i64 r = loc.refs[i];
+      const f64 v = static_cast<f64>(refs[i]);
+      if (r < y.nlocal()) {
+        y.local()[static_cast<std::size_t>(r)] += v;
+      } else {
+        ghost_acc[static_cast<std::size_t>(r - y.nlocal())] += v;
+      }
+    }
+    core::scatter_reduce<f64>(p, loc.schedule, y.local(), ghost_acc,
+                              core::ReduceOp::Add);
+
+    // Serial reference: count global occurrences over all ranks.
+    auto all_refs = rt::allgatherv<i64>(p, refs);
+    std::vector<f64> expect(static_cast<std::size_t>(n), 0.0);
+    for (i64 g : all_refs) {
+      expect[static_cast<std::size_t>(g)] += static_cast<f64>(g);
+    }
+    const auto got = y.to_global(p);
+    for (i64 g = 0; g < n; ++g) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(g)],
+                  expect[static_cast<std::size_t>(g)], 1e-9);
+    }
+  });
+}
+
+TEST_P(ExecutorSweep, ScatterMaxMatchesSerialReference) {
+  const auto [n, P] = GetParam();
+  rt::Machine::run(P, [&, n = n](rt::Process& p) {
+    auto d = dist::Distribution::block(p, n);
+    dist::DistributedArray<f64> y(p, d,
+                                  core::reduce_identity<f64>(core::ReduceOp::Max));
+
+    const auto refs = make_refs(p.rank(), n, 2 * n, 77);
+    auto loc = core::localize(p, *d, refs);
+    std::vector<f64> ghost_acc(
+        static_cast<std::size_t>(loc.schedule.nghost),
+        core::reduce_identity<f64>(core::ReduceOp::Max));
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      // Contribution value depends on rank so the max is nontrivial.
+      const f64 v = static_cast<f64>((p.rank() + 1) * 1000 + refs[i]);
+      const i64 r = loc.refs[i];
+      if (r < y.nlocal()) {
+        auto& dst = y.local()[static_cast<std::size_t>(r)];
+        dst = std::max(dst, v);
+      } else {
+        auto& dst = ghost_acc[static_cast<std::size_t>(r - y.nlocal())];
+        dst = std::max(dst, v);
+      }
+    }
+    core::scatter_reduce<f64>(p, loc.schedule, y.local(), ghost_acc,
+                              core::ReduceOp::Max);
+
+    struct Contribution {
+      i64 g;
+      f64 v;
+    };
+    std::vector<Contribution> mine;
+    for (i64 g : refs) {
+      mine.push_back({g, static_cast<f64>((p.rank() + 1) * 1000 + g)});
+    }
+    auto all = rt::allgatherv<Contribution>(p, mine);
+    std::vector<f64> expect(static_cast<std::size_t>(n),
+                            core::reduce_identity<f64>(core::ReduceOp::Max));
+    for (const auto& c : all) {
+      expect[static_cast<std::size_t>(c.g)] =
+          std::max(expect[static_cast<std::size_t>(c.g)], c.v);
+    }
+    const auto got = y.to_global(p);
+    for (i64 g = 0; g < n; ++g) {
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(g)],
+                       expect[static_cast<std::size_t>(g)]);
+    }
+  });
+}
+
+TEST(Executor, ScatterAssignWritesRemoteElements) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 n = 32;
+    auto d = dist::Distribution::block(p, n);
+    dist::DistributedArray<f64> y(p, d, -1.0);
+
+    // Rank r writes globals r, r+P, r+2P, ... — disjoint across ranks,
+    // many of them remote under BLOCK.
+    std::vector<i64> refs;
+    for (i64 g = p.rank(); g < n; g += p.nprocs()) refs.push_back(g);
+    auto loc = core::localize(p, *d, refs);
+    std::vector<f64> ghost(static_cast<std::size_t>(loc.schedule.nghost), 0.0);
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const f64 v = static_cast<f64>(10 * refs[i] + p.rank());
+      const i64 r = loc.refs[i];
+      if (r < y.nlocal()) {
+        y.local()[static_cast<std::size_t>(r)] = v;
+      } else {
+        ghost[static_cast<std::size_t>(r - y.nlocal())] = v;
+      }
+    }
+    core::scatter_assign<f64>(p, loc.schedule, y.local(), ghost);
+
+    const auto got = y.to_global(p);
+    for (i64 g = 0; g < n; ++g) {
+      const i64 writer = g % p.nprocs();
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(g)],
+                       static_cast<f64>(10 * g + writer));
+    }
+  });
+}
+
+TEST(Executor, GatherRejectsStaleSchedule) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    auto d = dist::Distribution::block(p, 16);
+    std::vector<i64> refs{0, 15};
+    auto loc = core::localize(p, *d, refs);
+    std::vector<f64> wrong_local(static_cast<std::size_t>(d->my_local_size()) +
+                                 1);
+    std::vector<f64> ghost(static_cast<std::size_t>(loc.schedule.nghost));
+    EXPECT_THROW(
+        core::gather_ghosts<f64>(p, loc.schedule, wrong_local, ghost),
+        chaos::ChaosError);
+    rt::barrier(p);
+  });
+}
+
+TEST(Executor, ReduceOpAlgebra) {
+  using core::ReduceOp;
+  EXPECT_DOUBLE_EQ(core::apply_reduce(ReduceOp::Add, 2.0, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(core::apply_reduce(ReduceOp::Max, 2.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(core::apply_reduce(ReduceOp::Min, 2.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(core::apply_reduce(ReduceOp::Replace, 2.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(core::reduce_identity<f64>(ReduceOp::Add), 0.0);
+  EXPECT_GT(0.0, core::reduce_identity<f64>(ReduceOp::Max));
+  EXPECT_LT(0.0, core::reduce_identity<f64>(ReduceOp::Min));
+  // Identity really is neutral.
+  EXPECT_DOUBLE_EQ(
+      core::apply_reduce(ReduceOp::Max,
+                         core::reduce_identity<f64>(ReduceOp::Max), -1e300),
+      -1e300);
+}

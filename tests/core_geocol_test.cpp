@@ -1,0 +1,133 @@
+// GeoCoL construction: CSR assembly must be deduplicated, symmetrized,
+// self-loop-free, and independent of which process contributed which edge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/geocol.hpp"
+#include "rt/collectives.hpp"
+
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
+namespace core = chaos::core;
+using chaos::f64;
+using chaos::i64;
+
+TEST(GeoCol, LinkBuildsSymmetricDedupedCsr) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 n = 8;
+    auto vdist = dist::Distribution::block(p, n);
+    // A ring 0-1-2-...-7-0 plus a chord 0-4; every process contributes the
+    // subset of edges e with e % nprocs == rank, plus a DUPLICATE of edge
+    // (0,1) from every process and a self loop (3,3).
+    std::vector<i64> u, v;
+    for (i64 e = 0; e < n; ++e) {
+      if (e % p.nprocs() == p.rank()) {
+        u.push_back(e);
+        v.push_back((e + 1) % n);
+      }
+    }
+    if (p.rank() == 0) {
+      u.push_back(0);
+      v.push_back(4);
+    }
+    u.push_back(1);  // duplicate from every rank, reversed direction
+    v.push_back(0);
+    u.push_back(3);  // self loop: must be dropped
+    v.push_back(3);
+
+    core::GeoColBuilder b(p, vdist);
+    b.link(u, v);
+    auto g = b.build();
+    ASSERT_TRUE(g->has_connectivity());
+    auto view = g->view();
+
+    // Expected neighbor sets.
+    auto expect_neighbors = [&](i64 vertex) {
+      std::vector<i64> nb{(vertex + 1) % n, (vertex + n - 1) % n};
+      if (vertex == 0) nb.push_back(4);
+      if (vertex == 4) nb.push_back(0);
+      std::sort(nb.begin(), nb.end());
+      nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+      return nb;
+    };
+    const auto globals = vdist->my_globals();
+    for (i64 l = 0; l < view.nlocal(); ++l) {
+      std::vector<i64> got(view.adjncy.begin() + view.xadj[static_cast<std::size_t>(l)],
+                           view.adjncy.begin() + view.xadj[static_cast<std::size_t>(l) + 1]);
+      EXPECT_EQ(got, expect_neighbors(globals[static_cast<std::size_t>(l)]))
+          << "vertex " << globals[static_cast<std::size_t>(l)];
+    }
+  });
+}
+
+TEST(GeoCol, GeometryAndLoadSlicesAreStored) {
+  rt::Machine::run(3, [](rt::Process& p) {
+    constexpr i64 n = 10;
+    auto vdist = dist::Distribution::block(p, n);
+    const i64 nl = vdist->my_local_size();
+    std::vector<f64> xs(static_cast<std::size_t>(nl)),
+        ys(static_cast<std::size_t>(nl)), w(static_cast<std::size_t>(nl));
+    for (i64 l = 0; l < nl; ++l) {
+      const i64 g = vdist->global_of(p.rank(), l);
+      xs[static_cast<std::size_t>(l)] = static_cast<f64>(g);
+      ys[static_cast<std::size_t>(l)] = -static_cast<f64>(g);
+      w[static_cast<std::size_t>(l)] = 1.0 + static_cast<f64>(g % 3);
+    }
+    core::GeoColBuilder b(p, vdist);
+    const std::span<const f64> coords[] = {xs, ys};
+    b.geometry(coords).load(w);
+    auto g = b.build();
+    EXPECT_TRUE(g->has_geometry());
+    EXPECT_EQ(g->dims(), 2);
+    EXPECT_TRUE(g->has_load());
+    EXPECT_FALSE(g->has_connectivity());
+    auto view = g->view();
+    for (i64 l = 0; l < nl; ++l) {
+      EXPECT_DOUBLE_EQ(view.coords[0][static_cast<std::size_t>(l)],
+                       xs[static_cast<std::size_t>(l)]);
+      EXPECT_DOUBLE_EQ(view.weights[static_cast<std::size_t>(l)],
+                       w[static_cast<std::size_t>(l)]);
+      EXPECT_DOUBLE_EQ(view.weight_of(l), w[static_cast<std::size_t>(l)]);
+    }
+  });
+}
+
+TEST(GeoCol, EdgeCountIsGlobalAcrossContributors) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    auto vdist = dist::Distribution::block(p, 6);
+    core::GeoColBuilder b(p, vdist);
+    // Each rank contributes one edge.
+    std::vector<i64> u{static_cast<i64>(p.rank() % 6)};
+    std::vector<i64> v{static_cast<i64>((p.rank() + 1) % 6)};
+    b.link(u, v);
+    auto g = b.build();
+    EXPECT_EQ(g->nedges_global(), 4);
+  });
+}
+
+TEST(GeoCol, MisalignedGeometryIsRejected) {
+  EXPECT_THROW(
+      rt::Machine::run(2,
+                       [](rt::Process& p) {
+                         auto vdist = dist::Distribution::block(p, 10);
+                         std::vector<f64> wrong(1, 0.0);
+                         core::GeoColBuilder b(p, vdist);
+                         const std::span<const f64> coords[] = {wrong};
+                         b.geometry(coords);
+                       }),
+      chaos::ChaosError);
+}
+
+TEST(GeoCol, OutOfRangeEdgeIsRejected) {
+  EXPECT_THROW(rt::Machine::run(2,
+                                [](rt::Process& p) {
+                                  auto vdist = dist::Distribution::block(p, 4);
+                                  core::GeoColBuilder b(p, vdist);
+                                  std::vector<i64> u{0}, v{4};
+                                  b.link(u, v);
+                                  (void)b.build();
+                                }),
+               chaos::ChaosError);
+}

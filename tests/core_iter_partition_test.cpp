@@ -1,0 +1,135 @@
+// Iteration partitioning (Section 4.3): the majority rule, the
+// owner-computes rule, tie-breaking, and the induced remap of
+// iteration-aligned arrays.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/iter_partition.hpp"
+#include "rt/collectives.hpp"
+
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
+namespace core = chaos::core;
+using chaos::i64;
+
+TEST(IterPartition, MajorityRulePicksTheDominantOwner) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 ndata = 40;  // BLOCK over 4 procs: 10 elements each
+    constexpr i64 niter = 4;
+    auto ddist = dist::Distribution::block(p, ndata);
+    auto idist = dist::Distribution::block(p, niter);  // 1 iteration each
+
+    // Every iteration references: two elements owned by proc 2, one owned
+    // by proc 0 => majority says proc 2 executes all iterations.
+    std::vector<i64> b1(static_cast<std::size_t>(idist->my_local_size()), 20);
+    std::vector<i64> b2(static_cast<std::size_t>(idist->my_local_size()), 25);
+    std::vector<i64> b3(static_cast<std::size_t>(idist->my_local_size()), 5);
+    const std::span<const i64> batches[] = {b1, b2, b3};
+    auto part = core::partition_iterations(p, *idist, *ddist, batches);
+
+    EXPECT_EQ(part.iter_dist->local_size(2), niter);
+    EXPECT_EQ(part.iter_dist->local_size(0), 0);
+  });
+}
+
+TEST(IterPartition, TieGoesToTheLowestRank) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 ndata = 40;
+    constexpr i64 niter = 8;
+    auto ddist = dist::Distribution::block(p, ndata);
+    auto idist = dist::Distribution::block(p, niter);
+
+    // One reference owned by proc 3, one by proc 1: tie -> proc 1.
+    std::vector<i64> b1(static_cast<std::size_t>(idist->my_local_size()), 35);
+    std::vector<i64> b2(static_cast<std::size_t>(idist->my_local_size()), 15);
+    const std::span<const i64> batches[] = {b1, b2};
+    auto part = core::partition_iterations(p, *idist, *ddist, batches);
+    EXPECT_EQ(part.iter_dist->local_size(1), niter);
+    EXPECT_EQ(part.iter_dist->local_size(3), 0);
+  });
+}
+
+TEST(IterPartition, OwnerComputesFollowsFirstBatch) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 ndata = 40;
+    constexpr i64 niter = 8;
+    auto ddist = dist::Distribution::block(p, ndata);
+    auto idist = dist::Distribution::block(p, niter);
+
+    // First batch (the LHS) points at proc 3's block; the other two batches
+    // gang up on proc 0 — owner-computes must still pick proc 3.
+    std::vector<i64> lhs(static_cast<std::size_t>(idist->my_local_size()), 38);
+    std::vector<i64> r1(static_cast<std::size_t>(idist->my_local_size()), 1);
+    std::vector<i64> r2(static_cast<std::size_t>(idist->my_local_size()), 2);
+    const std::span<const i64> batches[] = {lhs, r1, r2};
+    auto part = core::partition_iterations(p, *idist, *ddist, batches,
+                                           core::IterRule::OwnerComputes);
+    EXPECT_EQ(part.iter_dist->local_size(3), niter);
+  });
+}
+
+TEST(IterPartition, RemapMovesIterationAlignedData) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 ndata = 16;
+    constexpr i64 niter = 12;
+    auto ddist = dist::Distribution::block(p, ndata);
+    auto idist = dist::Distribution::block(p, niter);
+
+    // Iteration i references data element (i * 5 + 1) % ndata.
+    std::vector<i64> refs;
+    for (i64 l = 0; l < idist->my_local_size(); ++l) {
+      const i64 i = idist->global_of(p.rank(), l);
+      refs.push_back((i * 5 + 1) % ndata);
+    }
+    const std::span<const i64> batches[] = {refs};
+    auto part = core::partition_iterations(p, *idist, *ddist, batches);
+
+    // After remapping the reference array with the iteration remap, every
+    // process must own exactly the references of its assigned iterations —
+    // and under the single-batch majority rule those are all LOCAL data.
+    auto moved = dist::apply_remap<i64>(p, part.remap, refs);
+    ASSERT_EQ(static_cast<i64>(moved.size()),
+              part.iter_dist->my_local_size());
+    auto entries = ddist->locate(p, moved);
+    for (const auto& e : entries) EXPECT_EQ(e.proc, p.rank());
+
+    // And the iteration space itself is exactly partitioned.
+    i64 total = 0;
+    for (int r = 0; r < p.nprocs(); ++r) {
+      total += part.iter_dist->local_size(r);
+    }
+    EXPECT_EQ(total, niter);
+  });
+}
+
+TEST(IterPartition, CountsMovedIterations) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    constexpr i64 ndata = 8;
+    constexpr i64 niter = 6;
+    auto ddist = dist::Distribution::block(p, ndata);  // 0-3 on p0, 4-7 on p1
+    auto idist = dist::Distribution::block(p, niter);  // 0-2 on p0, 3-5 on p1
+
+    // All iterations reference element 7 (owned by p1): p0's 3 iterations
+    // move, p1's stay.
+    std::vector<i64> refs(static_cast<std::size_t>(idist->my_local_size()), 7);
+    const std::span<const i64> batches[] = {refs};
+    auto part = core::partition_iterations(p, *idist, *ddist, batches);
+    EXPECT_EQ(part.moved_iterations, 3);
+    EXPECT_EQ(part.iter_dist->local_size(1), niter);
+  });
+}
+
+TEST(IterPartition, MisalignedBatchIsRejected) {
+  EXPECT_THROW(
+      rt::Machine::run(2,
+                       [](rt::Process& p) {
+                         auto ddist = dist::Distribution::block(p, 8);
+                         auto idist = dist::Distribution::block(p, 6);
+                         std::vector<i64> bad(1, 0);
+                         const std::span<const i64> batches[] = {bad};
+                         (void)core::partition_iterations(p, *idist, *ddist,
+                                                          batches);
+                       }),
+      chaos::ChaosError);
+}

@@ -1,0 +1,198 @@
+// Distribution math: ownership round-trips, coverage, and the irregular
+// (map-driven) path, swept over kinds, sizes and process counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "rt/collectives.hpp"
+
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
+using chaos::i64;
+
+namespace {
+
+std::shared_ptr<const dist::Distribution> make(rt::Process& p,
+                                               dist::DistKind kind, i64 n) {
+  switch (kind) {
+    case dist::DistKind::Block: return dist::Distribution::block(p, n);
+    case dist::DistKind::Cyclic: return dist::Distribution::cyclic(p, n);
+    case dist::DistKind::BlockCyclic:
+      return dist::Distribution::block_cyclic(p, n, 3);
+    case dist::DistKind::Irregular: {
+      // A deterministic scrambled map: global g goes to (g*7+3) mod P.
+      auto map_dist = dist::Distribution::block(p, n);
+      std::vector<i64> slice(static_cast<std::size_t>(map_dist->my_local_size()));
+      for (std::size_t l = 0; l < slice.size(); ++l) {
+        const i64 g = map_dist->global_of(p.rank(), static_cast<i64>(l));
+        slice[l] = (g * 7 + 3) % p.nprocs();
+      }
+      return dist::Distribution::irregular_from_map(p, slice, *map_dist,
+                                                    /*page_size=*/16);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+class DistributionSweep
+    : public ::testing::TestWithParam<std::tuple<dist::DistKind, i64, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsSizesProcs, DistributionSweep,
+    ::testing::Combine(::testing::Values(dist::DistKind::Block,
+                                         dist::DistKind::Cyclic,
+                                         dist::DistKind::BlockCyclic,
+                                         dist::DistKind::Irregular),
+                       ::testing::Values<i64>(1, 5, 64, 257),
+                       ::testing::Values(1, 3, 4, 8)),
+    [](const auto& info) {
+      return std::string(dist::to_string(std::get<0>(info.param))) + "_N" +
+             std::to_string(std::get<1>(info.param)) + "_P" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST_P(DistributionSweep, LocalSizesCoverGlobalExactly) {
+  const auto [kind, n, P] = GetParam();
+  rt::Machine::run(P, [&, kind = kind, n = n](rt::Process& p) {
+    auto d = make(p, kind, n);
+    i64 total = 0;
+    for (int r = 0; r < p.nprocs(); ++r) total += d->local_size(r);
+    EXPECT_EQ(total, n);
+    EXPECT_EQ(d->my_local_size(),
+              static_cast<i64>(d->my_globals().size()));
+  });
+}
+
+TEST_P(DistributionSweep, GlobalsPartitionTheIndexSpace) {
+  const auto [kind, n, P] = GetParam();
+  rt::Machine::run(P, [&, kind = kind, n = n](rt::Process& p) {
+    auto d = make(p, kind, n);
+    auto mine = d->my_globals();
+    auto everyone = rt::allgatherv<i64>(p, mine);
+    std::set<i64> unique(everyone.begin(), everyone.end());
+    EXPECT_EQ(static_cast<i64>(unique.size()), n);
+    if (!unique.empty()) {
+      EXPECT_EQ(*unique.begin(), 0);
+      EXPECT_EQ(*unique.rbegin(), n - 1);
+    }
+  });
+}
+
+TEST_P(DistributionSweep, LocateAgreesWithOwnership) {
+  const auto [kind, n, P] = GetParam();
+  rt::Machine::run(P, [&, kind = kind, n = n](rt::Process& p) {
+    auto d = make(p, kind, n);
+    // Everyone queries the whole index space.
+    std::vector<i64> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    auto entries = d->locate(p, all);
+    // My own globals must resolve to me with the right local offset.
+    auto mine = d->my_globals();
+    for (std::size_t l = 0; l < mine.size(); ++l) {
+      const auto& e = entries[static_cast<std::size_t>(mine[l])];
+      EXPECT_EQ(e.proc, p.rank());
+      EXPECT_EQ(e.local, static_cast<i64>(l));
+    }
+    // Every entry's local offset must be within its owner's extent.
+    for (const auto& e : entries) {
+      ASSERT_GE(e.proc, 0);
+      ASSERT_LT(e.proc, p.nprocs());
+      EXPECT_GE(e.local, 0);
+      EXPECT_LT(e.local, d->local_size(e.proc));
+    }
+  });
+}
+
+TEST_P(DistributionSweep, GlobalOfInvertsLocalIndexing) {
+  const auto [kind, n, P] = GetParam();
+  rt::Machine::run(P, [&, kind = kind, n = n](rt::Process& p) {
+    auto d = make(p, kind, n);
+    auto mine = d->my_globals();
+    for (std::size_t l = 0; l < mine.size(); ++l) {
+      EXPECT_EQ(d->global_of(p.rank(), static_cast<i64>(l)), mine[l]);
+    }
+  });
+}
+
+TEST(Distribution, RegularClosedFormsMatchHpfConventions) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    auto blk = dist::Distribution::block(p, 10);  // block size ceil(10/4)=3
+    EXPECT_EQ(blk->owner_of(0), 0);
+    EXPECT_EQ(blk->owner_of(2), 0);
+    EXPECT_EQ(blk->owner_of(3), 1);
+    EXPECT_EQ(blk->owner_of(9), 3);
+    EXPECT_EQ(blk->local_index_of(4), 1);
+    EXPECT_EQ(blk->local_size(3), 1);  // 9 only
+
+    auto cyc = dist::Distribution::cyclic(p, 10);
+    EXPECT_EQ(cyc->owner_of(0), 0);
+    EXPECT_EQ(cyc->owner_of(5), 1);
+    EXPECT_EQ(cyc->local_index_of(9), 2);
+    EXPECT_EQ(cyc->local_size(0), 3);  // 0,4,8
+    EXPECT_EQ(cyc->local_size(2), 2);  // 2,6
+
+    auto bc = dist::Distribution::block_cyclic(p, 20, 2);
+    // Bricks of 2: [0,1]->p0 [2,3]->p1 [4,5]->p2 [6,7]->p3 [8,9]->p0 ...
+    EXPECT_EQ(bc->owner_of(0), 0);
+    EXPECT_EQ(bc->owner_of(3), 1);
+    EXPECT_EQ(bc->owner_of(8), 0);
+    EXPECT_EQ(bc->local_index_of(9), 3);
+    EXPECT_EQ(bc->local_size(0), 6);  // 0,1,8,9,16,17
+  });
+}
+
+TEST(Distribution, DadsDifferByIncarnation) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    auto a = dist::Distribution::block(p, 100);
+    auto b = dist::Distribution::block(p, 100);
+    EXPECT_EQ(a->dad().kind, b->dad().kind);
+    EXPECT_EQ(a->dad().size, b->dad().size);
+    EXPECT_NE(a->dad().incarnation, b->dad().incarnation);
+    EXPECT_FALSE(a->dad() == b->dad());
+    EXPECT_TRUE(a->dad() == a->dad());
+  });
+}
+
+TEST(Distribution, IrregularFromMapRespectsTheMap) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 n = 37;
+    auto map_dist = dist::Distribution::block(p, n);
+    // Send everything to rank 2 except multiples of 5, which go to rank 0.
+    std::vector<i64> slice(static_cast<std::size_t>(map_dist->my_local_size()));
+    for (std::size_t l = 0; l < slice.size(); ++l) {
+      const i64 g = map_dist->global_of(p.rank(), static_cast<i64>(l));
+      slice[l] = (g % 5 == 0) ? 0 : 2;
+    }
+    auto d = dist::Distribution::irregular_from_map(p, slice, *map_dist, 8);
+    EXPECT_EQ(d->local_size(0), 8);  // 0,5,10,15,20,25,30,35
+    EXPECT_EQ(d->local_size(1), 0);
+    EXPECT_EQ(d->local_size(2), n - 8);
+    EXPECT_EQ(d->local_size(3), 0);
+    if (p.rank() == 0) {
+      auto mine = d->my_globals();
+      for (std::size_t l = 0; l < mine.size(); ++l) {
+        EXPECT_EQ(mine[l] % 5, 0);
+        if (l > 0) {
+          EXPECT_LT(mine[l - 1], mine[l]);  // ascending order
+        }
+      }
+    }
+  });
+}
+
+TEST(Distribution, OwnerOfRejectsIrregular) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    auto map_dist = dist::Distribution::block(p, 8);
+    std::vector<i64> slice(static_cast<std::size_t>(map_dist->my_local_size()),
+                           0);
+    auto d = dist::Distribution::irregular_from_map(p, slice, *map_dist);
+    EXPECT_THROW((void)d->owner_of(0), chaos::ChaosError);
+    EXPECT_THROW((void)d->local_index_of(0), chaos::ChaosError);
+  });
+}

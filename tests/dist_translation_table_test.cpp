@@ -1,0 +1,166 @@
+// Translation table: paged-distributed vs replicated equivalence, duplicate /
+// coverage detection, and dereference correctness on adversarial layouts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "dist/translation_table.hpp"
+#include "rt/collectives.hpp"
+
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
+using chaos::i64;
+
+namespace {
+
+// Deterministically deals [0, n) to P ranks in a shuffled round-robin, so
+// ownership is scattered across pages. Returns this rank's globals in the
+// local order the table must preserve.
+std::vector<i64> shuffled_ownership(i64 n, int nprocs, int rank, unsigned seed) {
+  std::vector<i64> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  std::mt19937 rng(seed);
+  std::shuffle(all.begin(), all.end(), rng);
+  std::vector<i64> mine;
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    if (static_cast<int>(k % static_cast<std::size_t>(nprocs)) == rank) {
+      mine.push_back(all[k]);
+    }
+  }
+  return mine;
+}
+
+}  // namespace
+
+class TTableSweep
+    : public ::testing::TestWithParam<std::tuple<i64, int, i64, bool>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesProcsPages, TTableSweep,
+    ::testing::Combine(::testing::Values<i64>(1, 17, 256, 1000),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values<i64>(1, 7, 64, 4096),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "N" + std::to_string(std::get<0>(info.param)) + "_P" +
+             std::to_string(std::get<1>(info.param)) + "_pg" +
+             std::to_string(std::get<2>(info.param)) +
+             (std::get<3>(info.param) ? "_repl" : "_dist");
+    });
+
+TEST_P(TTableSweep, DereferenceRecoversOwnership) {
+  const auto [n, P, page, repl] = GetParam();
+  rt::Machine::run(P, [&, n = n, page = page, repl = repl](rt::Process& p) {
+    auto mine = shuffled_ownership(n, p.nprocs(), p.rank(), /*seed=*/42);
+    auto tt = dist::TranslationTable::build(p, n, mine, page, repl);
+
+    EXPECT_EQ(tt->local_count(p.rank()), static_cast<i64>(mine.size()));
+
+    // Query every global index and verify it resolves to the right owner
+    // with the right local slot.
+    std::vector<i64> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    auto entries = tt->dereference(p, all);
+    for (std::size_t l = 0; l < mine.size(); ++l) {
+      const auto& e = entries[static_cast<std::size_t>(mine[l])];
+      EXPECT_EQ(e.proc, p.rank());
+      EXPECT_EQ(e.local, static_cast<i64>(l));
+    }
+    // Owners must agree globally: gather (global, proc) and check singles.
+    std::vector<i64> owner_view(static_cast<std::size_t>(n));
+    for (std::size_t g = 0; g < owner_view.size(); ++g) {
+      owner_view[g] = entries[g].proc;
+    }
+    auto other = rt::broadcast_vec(p, owner_view, 0);
+    EXPECT_EQ(owner_view, other);
+  });
+}
+
+TEST_P(TTableSweep, EmptyQueriesAreLegal) {
+  const auto [n, P, page, repl] = GetParam();
+  rt::Machine::run(P, [&, n = n, page = page, repl = repl](rt::Process& p) {
+    auto mine = shuffled_ownership(n, p.nprocs(), p.rank(), 7);
+    auto tt = dist::TranslationTable::build(p, n, mine, page, repl);
+    // Only rank 0 queries; everyone else passes empty lists (still
+    // collective — the exchange must tolerate asymmetric load).
+    std::vector<i64> q;
+    if (p.is_root() && n > 0) q = {0, n - 1, 0};
+    auto entries = tt->dereference(p, q);
+    EXPECT_EQ(entries.size(), q.size());
+    if (p.is_root() && n > 0) {
+      EXPECT_EQ(entries[0].proc, entries[2].proc);
+      EXPECT_EQ(entries[0].local, entries[2].local);
+    }
+  });
+}
+
+TEST(TranslationTable, RepeatedQueriesGetConsistentAnswers) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 n = 64;
+    auto mine = shuffled_ownership(n, p.nprocs(), p.rank(), 3);
+    auto tt = dist::TranslationTable::build(p, n, mine, 8);
+    std::vector<i64> q(static_cast<std::size_t>(n), 13);  // same index, n times
+    auto entries = tt->dereference(p, q);
+    for (const auto& e : entries) {
+      EXPECT_EQ(e.proc, entries[0].proc);
+      EXPECT_EQ(e.local, entries[0].local);
+    }
+  });
+}
+
+TEST(TranslationTable, DetectsDoubleClaim) {
+  EXPECT_THROW(
+      rt::Machine::run(2,
+                       [](rt::Process& p) {
+                         // Both ranks claim global 0; rank 1 also skips 1.
+                         std::vector<i64> mine =
+                             p.rank() == 0 ? std::vector<i64>{0} : std::vector<i64>{0};
+                         (void)dist::TranslationTable::build(p, 2, mine, 4);
+                       }),
+      chaos::ChaosError);
+}
+
+TEST(TranslationTable, DetectsUnclaimedIndex) {
+  EXPECT_THROW(
+      rt::Machine::run(2,
+                       [](rt::Process& p) {
+                         // Global size 3 but only two elements claimed.
+                         std::vector<i64> mine =
+                             p.rank() == 0 ? std::vector<i64>{0} : std::vector<i64>{2};
+                         (void)dist::TranslationTable::build(p, 3, mine, 4);
+                       }),
+      chaos::ChaosError);
+}
+
+TEST(TranslationTable, RejectsOutOfRangeClaims) {
+  EXPECT_THROW(
+      rt::Machine::run(2,
+                       [](rt::Process& p) {
+                         std::vector<i64> mine =
+                             p.rank() == 0 ? std::vector<i64>{0, 5} : std::vector<i64>{1};
+                         (void)dist::TranslationTable::build(p, 3, mine, 4);
+                       }),
+      chaos::ChaosError);
+}
+
+TEST(TranslationTable, ReplicatedAndDistributedAgree) {
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 n = 300;
+    auto mine = shuffled_ownership(n, p.nprocs(), p.rank(), 11);
+    auto dist_tt = dist::TranslationTable::build(p, n, mine, 32, false);
+    auto repl_tt = dist::TranslationTable::build(p, n, mine, 32, true);
+    std::vector<i64> q;
+    for (i64 g = p.rank(); g < n; g += 5) q.push_back(g);
+    auto a = dist_tt->dereference(p, q);
+    auto b = repl_tt->dereference(p, q);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].proc, b[k].proc);
+      EXPECT_EQ(a[k].local, b[k].local);
+    }
+  });
+}

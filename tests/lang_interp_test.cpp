@@ -1,0 +1,476 @@
+// Interpreter end-to-end: directive programs must produce the same results
+// as serial evaluation, the REDISTRIBUTE pipeline must work through
+// directives alone, and the automatically inserted schedule-reuse guard must
+// hit/miss exactly as Section 3 prescribes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lang/interp.hpp"
+#include "lang/parser.hpp"
+#include "lang/token.hpp"
+#include "rt/machine.hpp"
+#include "workload/mesh.hpp"
+
+namespace rt = chaos::rt;
+namespace lang = chaos::lang;
+namespace wl = chaos::wl;
+using chaos::f64;
+using chaos::i64;
+
+namespace {
+
+/// 1-based edge arrays of a tiny mesh.
+struct EdgeData {
+  i64 nnodes, nedges;
+  std::vector<i64> e1, e2;  // 1-based
+};
+
+EdgeData tiny_edges() {
+  const auto mesh = wl::mesh_tiny();
+  EdgeData d{mesh.nnodes, mesh.nedges, mesh.edge1, mesh.edge2};
+  for (auto& v : d.e1) v += 1;
+  for (auto& v : d.e2) v += 1;
+  return d;
+}
+
+}  // namespace
+
+TEST(Interp, SingleStatementLoopMatchesSerial) {
+  const char* source = R"(
+      REAL*8 x(n), y(n)
+      INTEGER ia(n), ib(n)
+C$    DECOMPOSITION reg(n)
+C$    DISTRIBUTE reg(BLOCK)
+C$    ALIGN x, y, ia, ib WITH reg
+      FORALL i = 1, n
+        y(ia(i)) = 2.0 * x(ib(i)) + 1.0
+      END FORALL
+)";
+  constexpr i64 n = 24;
+  std::vector<f64> x0(n), expect(n, 0.0);
+  std::vector<i64> ia(n), ib(n);
+  for (i64 i = 0; i < n; ++i) {
+    x0[static_cast<std::size_t>(i)] = 0.5 * static_cast<f64>(i);
+    ia[static_cast<std::size_t>(i)] = (i * 7 + 3) % n + 1;   // permutation
+    ib[static_cast<std::size_t>(i)] = (i * 5 + 1) % n + 1;
+  }
+  for (i64 i = 0; i < n; ++i) {
+    expect[static_cast<std::size_t>(ia[static_cast<std::size_t>(i)] - 1)] =
+        2.0 * x0[static_cast<std::size_t>(ib[static_cast<std::size_t>(i)] - 1)] +
+        1.0;
+  }
+
+  auto prog = lang::compile(source);
+  rt::Machine::run(4, [&](rt::Process& p) {
+    lang::Instance inst(prog);
+    inst.set_param("N", n);
+    inst.bind_real("X", x0);
+    inst.bind_int("IA", ia);
+    inst.bind_int("IB", ib);
+    inst.execute(p);
+    const auto y = inst.fetch_real(p, "Y");
+    for (i64 i = 0; i < n; ++i) {
+      EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-12);
+    }
+  });
+}
+
+TEST(Interp, Figure4PipelineRunsAndReducesCorrectly) {
+  const auto d = tiny_edges();
+  const char* source = R"(
+      REAL*8 x(nnode), y(nnode)
+      INTEGER end_pt1(nedge), end_pt2(nedge)
+C$    DYNAMIC, DECOMPOSITION reg(nnode), reg2(nedge)
+C$    DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+C$    ALIGN x, y WITH reg
+C$    ALIGN end_pt1, end_pt2 WITH reg2
+C$    CONSTRUCT G (nnode, LINK(nedge, end_pt1, end_pt2))
+C$    SET distfmt BY PARTITIONING G USING RSB
+C$    REDISTRIBUTE reg(distfmt)
+      FORALL i = 1, nedge
+        REDUCE(ADD, y(end_pt1(i)), x(end_pt1(i)) * x(end_pt2(i)))
+        REDUCE(ADD, y(end_pt2(i)), x(end_pt1(i)) - x(end_pt2(i)))
+      END FORALL
+)";
+  // Serial reference.
+  std::vector<f64> x0(static_cast<std::size_t>(d.nnodes));
+  for (i64 i = 0; i < d.nnodes; ++i) {
+    x0[static_cast<std::size_t>(i)] = std::cos(static_cast<f64>(i));
+  }
+  std::vector<f64> expect(static_cast<std::size_t>(d.nnodes), 0.0);
+  for (i64 e = 0; e < d.nedges; ++e) {
+    const i64 a = d.e1[static_cast<std::size_t>(e)] - 1;
+    const i64 b = d.e2[static_cast<std::size_t>(e)] - 1;
+    expect[static_cast<std::size_t>(a)] +=
+        x0[static_cast<std::size_t>(a)] * x0[static_cast<std::size_t>(b)];
+    expect[static_cast<std::size_t>(b)] +=
+        x0[static_cast<std::size_t>(a)] - x0[static_cast<std::size_t>(b)];
+  }
+
+  auto prog = lang::compile(source);
+  rt::Machine::run(4, [&](rt::Process& p) {
+    lang::Instance inst(prog);
+    inst.set_param("NNODE", d.nnodes);
+    inst.set_param("NEDGE", d.nedges);
+    inst.bind_real("X", x0);
+    inst.bind_int("END_PT1", d.e1);
+    inst.bind_int("END_PT2", d.e2);
+    inst.execute(p);
+    const auto y = inst.fetch_real(p, "Y");
+    for (i64 i = 0; i < d.nnodes; ++i) {
+      EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-9);
+    }
+    // Phase accounting: the pipeline spent time in every phase.
+    EXPECT_GT(inst.phases().graph_gen, 0.0);
+    EXPECT_GT(inst.phases().partition, 0.0);
+    EXPECT_GT(inst.phases().remap, 0.0);
+    EXPECT_GT(inst.phases().inspector, 0.0);
+    EXPECT_GT(inst.phases().executor, 0.0);
+  });
+}
+
+TEST(Interp, DoLoopReusesSchedulesAcrossIterations) {
+  const auto d = tiny_edges();
+  const char* source = R"(
+      REAL*8 x(nnode), y(nnode)
+      INTEGER end_pt1(nedge), end_pt2(nedge)
+C$    DECOMPOSITION reg(nnode), reg2(nedge)
+C$    DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+C$    ALIGN x, y WITH reg
+C$    ALIGN end_pt1, end_pt2 WITH reg2
+      DO step = 1, 10
+      FORALL i = 1, nedge
+        REDUCE(ADD, y(end_pt1(i)), x(end_pt2(i)))
+      END FORALL
+      END DO
+)";
+  auto prog = lang::compile(source);
+  rt::Machine::run(4, [&](rt::Process& p) {
+    lang::Instance inst(prog);
+    inst.set_param("NNODE", d.nnodes);
+    inst.set_param("NEDGE", d.nedges);
+    std::vector<f64> x0(static_cast<std::size_t>(d.nnodes), 1.0);
+    inst.bind_real("X", x0);
+    inst.bind_int("END_PT1", d.e1);
+    inst.bind_int("END_PT2", d.e2);
+    inst.execute(p);
+    // One inspector, nine reuses.
+    EXPECT_EQ(inst.cache_stats().misses, 1);
+    EXPECT_EQ(inst.cache_stats().hits, 9);
+
+    // y(v) = 10 * indegree(v) with x == 1.
+    const auto y = inst.fetch_real(p, "Y");
+    std::vector<f64> expect(static_cast<std::size_t>(d.nnodes), 0.0);
+    for (i64 e = 0; e < d.nedges; ++e) {
+      expect[static_cast<std::size_t>(d.e1[static_cast<std::size_t>(e)] - 1)] +=
+          10.0;
+    }
+    for (i64 i = 0; i < d.nnodes; ++i) {
+      EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-9);
+    }
+  });
+}
+
+TEST(Interp, DisablingReuseRunsInspectorEveryIteration) {
+  const auto d = tiny_edges();
+  const char* source = R"(
+      REAL*8 x(nnode), y(nnode)
+      INTEGER end_pt1(nedge), end_pt2(nedge)
+C$    DECOMPOSITION reg(nnode), reg2(nedge)
+C$    DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+C$    ALIGN x, y WITH reg
+C$    ALIGN end_pt1, end_pt2 WITH reg2
+      DO step = 1, 5
+      FORALL i = 1, nedge
+        REDUCE(ADD, y(end_pt1(i)), x(end_pt2(i)))
+      END FORALL
+      END DO
+)";
+  auto prog = lang::compile(source);
+  rt::Machine::run(2, [&](rt::Process& p) {
+    lang::Instance with(prog), without(prog);
+    for (auto* inst : {&with, &without}) {
+      inst->set_param("NNODE", d.nnodes);
+      inst->set_param("NEDGE", d.nedges);
+      inst->bind_real("X", std::vector<f64>(
+                               static_cast<std::size_t>(d.nnodes), 2.0));
+      inst->bind_int("END_PT1", d.e1);
+      inst->bind_int("END_PT2", d.e2);
+    }
+    without.set_schedule_reuse(false);
+    with.execute(p);
+    without.execute(p);
+    // Identical results...
+    EXPECT_EQ(with.fetch_real(p, "Y"), without.fetch_real(p, "Y"));
+    // ...but very different preprocessing cost (Table 1's story).
+    EXPECT_LT(with.phases().inspector + with.phases().remap,
+              (without.phases().inspector + without.phases().remap) / 2.0);
+  });
+}
+
+TEST(Interp, OverwritingIndirectionArrayForcesReinspection) {
+  const auto d = tiny_edges();
+  const char* source = R"(
+      REAL*8 x(nnode), y(nnode)
+      INTEGER ind(nedge)
+C$    DECOMPOSITION reg(nnode), reg2(nedge)
+C$    DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+C$    ALIGN x, y WITH reg
+C$    ALIGN ind WITH reg2
+      FORALL i = 1, nedge
+        REDUCE(ADD, y(ind(i)), x(ind(i)))
+      END FORALL
+)";
+  auto prog = lang::compile(source);
+  rt::Machine::run(2, [&](rt::Process& p) {
+    lang::Instance inst(prog);
+    inst.set_param("NNODE", d.nnodes);
+    inst.set_param("NEDGE", d.nedges);
+    std::vector<f64> x0(static_cast<std::size_t>(d.nnodes), 1.0);
+    inst.bind_real("X", x0);
+    inst.bind_int("IND", d.e1);
+    inst.execute(p);
+    EXPECT_EQ(inst.cache_stats().misses, 1);
+    const chaos::u64 nmod_before = inst.reuse_registry().nmod();
+    // An "array intrinsic" rewrites the indirection array (adaptive mesh!).
+    inst.overwrite_int(p, "IND", d.e2);
+    EXPECT_GT(inst.reuse_registry().nmod(), nmod_before);
+  });
+}
+
+TEST(Interp, MaxAndMinReductions) {
+  const char* source = R"(
+      REAL*8 x(n), hi(n), lo(n)
+      INTEGER ia(n)
+C$    DECOMPOSITION reg(n)
+C$    DISTRIBUTE reg(BLOCK)
+C$    ALIGN x, hi, lo, ia WITH reg
+      FORALL i = 1, n
+        REDUCE(MAX, hi(ia(i)), x(i))
+        REDUCE(MIN, lo(ia(i)), x(i))
+      END FORALL
+)";
+  constexpr i64 n = 16;
+  std::vector<f64> x0(n);
+  std::vector<i64> ia(n);
+  for (i64 i = 0; i < n; ++i) {
+    x0[static_cast<std::size_t>(i)] = static_cast<f64>((i * 11) % n) - 5.0;
+    ia[static_cast<std::size_t>(i)] = i % 4 + 1;  // buckets 1..4
+  }
+  auto prog = lang::compile(source);
+  rt::Machine::run(4, [&](rt::Process& p) {
+    lang::Instance inst(prog);
+    inst.set_param("N", n);
+    inst.bind_real("X", x0);
+    inst.bind_int("IA", ia);
+    inst.execute(p);
+    const auto hi = inst.fetch_real(p, "HI");
+    const auto lo = inst.fetch_real(p, "LO");
+    for (i64 b = 0; b < 4; ++b) {
+      f64 want_hi = -1e300, want_lo = 1e300;
+      for (i64 i = b; i < n; i += 4) {
+        want_hi = std::max(want_hi, x0[static_cast<std::size_t>(i)]);
+        want_lo = std::min(want_lo, x0[static_cast<std::size_t>(i)]);
+      }
+      EXPECT_DOUBLE_EQ(hi[static_cast<std::size_t>(b)], want_hi);
+      EXPECT_DOUBLE_EQ(lo[static_cast<std::size_t>(b)], want_lo);
+    }
+  });
+}
+
+TEST(Interp, LoopVarAndScalarsInExpressions) {
+  const char* source = R"(
+      REAL*8 y(n)
+C$    DECOMPOSITION reg(n)
+C$    DISTRIBUTE reg(CYCLIC)
+C$    ALIGN y WITH reg
+      FORALL i = 1, n
+        y(i) = scale * i + 0.5
+      END FORALL
+)";
+  constexpr i64 n = 13;
+  auto prog = lang::compile(source);
+  rt::Machine::run(3, [&](rt::Process& p) {
+    lang::Instance inst(prog);
+    inst.set_param("N", n);
+    inst.set_param("SCALE", 3);
+    inst.execute(p);
+    const auto y = inst.fetch_real(p, "Y");
+    for (i64 i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)],
+                       3.0 * static_cast<f64>(i + 1) + 0.5);
+    }
+  });
+}
+
+TEST(Interp, SemanticErrorsAreReported) {
+  rt::Machine::run(1, [](rt::Process& p) {
+    {
+      // Unbound parameter.
+      auto prog = lang::compile("C$ DECOMPOSITION reg(n)");
+      lang::Instance inst(prog);
+      EXPECT_THROW(inst.execute(p), lang::LangError);
+    }
+    {
+      // ALIGN before DISTRIBUTE.
+      auto prog = lang::compile(R"(
+      REAL*8 x(4)
+C$    DECOMPOSITION reg(4)
+C$    ALIGN x WITH reg
+)");
+      lang::Instance inst(prog);
+      EXPECT_THROW(inst.execute(p), lang::LangError);
+    }
+    {
+      // Read and write of one array in a FORALL.
+      auto prog = lang::compile(R"(
+      REAL*8 x(4)
+      INTEGER ia(4)
+C$    DECOMPOSITION reg(4)
+C$    DISTRIBUTE reg(BLOCK)
+C$    ALIGN x, ia WITH reg
+      FORALL i = 1, 4
+        x(ia(i)) = x(ia(i)) + 1.0
+      END FORALL
+)");
+      lang::Instance inst(prog);
+      inst.bind_int("IA", {1, 2, 3, 4});
+      EXPECT_THROW(inst.execute(p), lang::LangError);
+    }
+    {
+      // Indirection array must be INTEGER.
+      auto prog = lang::compile(R"(
+      REAL*8 x(4), w(4)
+C$    DECOMPOSITION reg(4)
+C$    DISTRIBUTE reg(BLOCK)
+C$    ALIGN x, w WITH reg
+      FORALL i = 1, 4
+        x(w(i)) = 1.0
+      END FORALL
+)");
+      lang::Instance inst(prog);
+      EXPECT_THROW(inst.execute(p), lang::LangError);
+    }
+    {
+      // Subscript out of range.
+      auto prog = lang::compile(R"(
+      REAL*8 x(4), y(4)
+      INTEGER ia(4)
+C$    DECOMPOSITION reg(4)
+C$    DISTRIBUTE reg(BLOCK)
+C$    ALIGN x, y, ia WITH reg
+      FORALL i = 1, 4
+        y(ia(i)) = x(i)
+      END FORALL
+)");
+      lang::Instance inst(prog);
+      inst.bind_int("IA", {1, 2, 3, 9});
+      EXPECT_THROW(inst.execute(p), lang::LangError);
+    }
+  });
+}
+
+TEST(Interp, MapperCouplerReusedInsideTimeStepLoop) {
+  // Section 3 applied to the mapper: a CONSTRUCT + SET + REDISTRIBUTE inside
+  // a DO loop must build the GeoCoL and partition exactly once when nothing
+  // that feeds them changes.
+  const auto d = tiny_edges();
+  const char* source = R"(
+      REAL*8 x(nnode), y(nnode)
+      INTEGER end_pt1(nedge), end_pt2(nedge)
+C$    DECOMPOSITION reg(nnode), reg2(nedge)
+C$    DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+C$    ALIGN x, y WITH reg
+C$    ALIGN end_pt1, end_pt2 WITH reg2
+      DO step = 1, 6
+C$    CONSTRUCT G (nnode, LINK(nedge, end_pt1, end_pt2))
+C$    SET distfmt BY PARTITIONING G USING RSB
+C$    REDISTRIBUTE reg(distfmt)
+      FORALL i = 1, nedge
+        REDUCE(ADD, y(end_pt1(i)), x(end_pt2(i)))
+      END FORALL
+      END DO
+)";
+  auto prog = lang::compile(source);
+  rt::Machine::run(4, [&](rt::Process& p) {
+    lang::Instance inst(prog);
+    inst.set_param("NNODE", d.nnodes);
+    inst.set_param("NEDGE", d.nedges);
+    std::vector<f64> x0(static_cast<std::size_t>(d.nnodes), 1.0);
+    inst.bind_real("X", x0);
+    inst.bind_int("END_PT1", d.e1);
+    inst.bind_int("END_PT2", d.e2);
+    inst.execute(p);
+
+    // One GeoCoL build + one partition; five reuses of each.
+    EXPECT_EQ(inst.mapper_cache_stats().misses, 2);
+    EXPECT_EQ(inst.mapper_cache_stats().hits, 10);
+    // The identity REDISTRIBUTE after the first step does not invalidate the
+    // FORALL's inspector either.
+    EXPECT_EQ(inst.cache_stats().misses, 1);
+    EXPECT_EQ(inst.cache_stats().hits, 5);
+
+    // And the numerics are exactly six accumulated sweeps.
+    const auto y = inst.fetch_real(p, "Y");
+    std::vector<f64> expect(static_cast<std::size_t>(d.nnodes), 0.0);
+    for (i64 e = 0; e < d.nedges; ++e) {
+      expect[static_cast<std::size_t>(d.e1[static_cast<std::size_t>(e)] - 1)] +=
+          6.0;
+    }
+    for (i64 i = 0; i < d.nnodes; ++i) {
+      EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-9);
+    }
+  });
+}
+
+TEST(Interp, GeometryPartitionerPathWorks) {
+  // Figure 5: RCB through GEOMETRY directives.
+  const auto mesh = wl::mesh_tiny();
+  const char* source = R"(
+      REAL*8 x(nnode), y(nnode), xc(nnode), yc(nnode), zc(nnode)
+      INTEGER e1(nedge), e2(nedge)
+C$    DECOMPOSITION reg(nnode), reg2(nedge)
+C$    DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+C$    ALIGN x, y, xc, yc, zc WITH reg
+C$    ALIGN e1, e2 WITH reg2
+C$    CONSTRUCT G (nnode, GEOMETRY(3, xc, yc, zc))
+C$    SET distfmt BY PARTITIONING G USING RCB
+C$    REDISTRIBUTE reg(distfmt)
+      FORALL i = 1, nedge
+        REDUCE(ADD, y(e1(i)), x(e2(i)))
+      END FORALL
+)";
+  std::vector<i64> e1 = mesh.edge1, e2 = mesh.edge2;
+  for (auto& v : e1) v += 1;
+  for (auto& v : e2) v += 1;
+  std::vector<f64> x0(static_cast<std::size_t>(mesh.nnodes), 1.0);
+  std::vector<f64> expect(static_cast<std::size_t>(mesh.nnodes), 0.0);
+  for (i64 e = 0; e < mesh.nedges; ++e) {
+    expect[static_cast<std::size_t>(mesh.edge1[static_cast<std::size_t>(e)])] +=
+        1.0;
+  }
+  auto prog = lang::compile(source);
+  rt::Machine::run(4, [&](rt::Process& p) {
+    lang::Instance inst(prog);
+    inst.set_param("NNODE", mesh.nnodes);
+    inst.set_param("NEDGE", mesh.nedges);
+    inst.bind_real("X", x0);
+    inst.bind_real("XC", mesh.x);
+    inst.bind_real("YC", mesh.y);
+    inst.bind_real("ZC", mesh.z);
+    inst.bind_int("E1", e1);
+    inst.bind_int("E2", e2);
+    inst.execute(p);
+    const auto y = inst.fetch_real(p, "Y");
+    for (i64 i = 0; i < mesh.nnodes; ++i) {
+      EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-9);
+    }
+  });
+}

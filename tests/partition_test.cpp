@@ -1,0 +1,214 @@
+// Partitioner library: every partitioner must produce a complete, balanced
+// assignment; the smart ones must beat the naive ones on mesh-like graphs;
+// refinement must never worsen the cut.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/geocol.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioner.hpp"
+#include "rt/collectives.hpp"
+#include "workload/mesh.hpp"
+
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
+namespace core = chaos::core;
+namespace part = chaos::part;
+namespace wl = chaos::wl;
+using chaos::f64;
+using chaos::i64;
+
+namespace {
+
+/// Builds the GeoCoL of a mesh with geometry + connectivity (+ optional
+/// load), using this process's BLOCK slices.
+std::shared_ptr<const core::GeoCol> mesh_geocol(rt::Process& p,
+                                                const wl::Mesh& mesh,
+                                                bool with_load = false) {
+  auto vdist = dist::Distribution::block(p, mesh.nnodes);
+  auto edist = dist::Distribution::block(p, mesh.nedges);
+  std::vector<f64> xs, ys, zs, w;
+  for (i64 l = 0; l < vdist->my_local_size(); ++l) {
+    const i64 g = vdist->global_of(p.rank(), l);
+    xs.push_back(mesh.x[static_cast<std::size_t>(g)]);
+    ys.push_back(mesh.y[static_cast<std::size_t>(g)]);
+    zs.push_back(mesh.z[static_cast<std::size_t>(g)]);
+    w.push_back(1.0 + static_cast<f64>(g % 4));
+  }
+  std::vector<i64> e1, e2;
+  for (i64 l = 0; l < edist->my_local_size(); ++l) {
+    const i64 e = edist->global_of(p.rank(), l);
+    e1.push_back(mesh.edge1[static_cast<std::size_t>(e)]);
+    e2.push_back(mesh.edge2[static_cast<std::size_t>(e)]);
+  }
+  core::GeoColBuilder b(p, vdist);
+  const std::span<const f64> coords[] = {xs, ys, zs};
+  b.geometry(coords).link(e1, e2);
+  if (with_load) b.load(w);
+  return b.build();
+}
+
+}  // namespace
+
+class PartitionerSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    NamesProcsParts, PartitionerSweep,
+    ::testing::Combine(::testing::Values("BLOCK", "CYCLIC", "RANDOM", "RCB",
+                                         "INERTIAL", "RSB", "GREEDY",
+                                         "RCB+KL"),
+                       ::testing::Values(1, 4), ::testing::Values(2, 5, 8)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      std::replace(name.begin(), name.end(), '+', '_');
+      return name + "_P" + std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST_P(PartitionerSweep, ProducesCompleteBalancedAssignment) {
+  const auto [name, P, k] = GetParam();
+  const auto mesh = wl::mesh_tiny();
+  rt::Machine::run(P, [&, name = name, k = k](rt::Process& p) {
+    auto g = mesh_geocol(p, mesh);
+    auto view = g->view();
+    const auto& fn = part::PartitionerRegistry::instance().get(name);
+    auto parts = fn(p, view, k);
+    ASSERT_EQ(static_cast<i64>(parts.size()), view.nlocal());
+    for (i64 pt : parts) {
+      EXPECT_GE(pt, 0);
+      EXPECT_LT(pt, k);
+    }
+    auto q = part::evaluate_partition(p, view, parts, k);
+    EXPECT_EQ(q.nonempty_parts, std::min<i64>(k, mesh.nnodes));
+    // Unit weights: no part may exceed ~2x the average for these inputs
+    // (RANDOM on a tiny mesh is the loosest).
+    EXPECT_LE(q.imbalance, 2.0);
+    EXPECT_LE(q.edge_cut, q.total_edges);
+  });
+}
+
+TEST(Partitioners, GeometricOnesAreNearPerfectlyBalanced) {
+  const auto mesh = wl::mesh_tiny();
+  rt::Machine::run(4, [&](rt::Process& p) {
+    auto g = mesh_geocol(p, mesh);
+    auto view = g->view();
+    for (const char* name : {"RCB", "INERTIAL", "RSB", "BLOCK"}) {
+      auto parts =
+          part::PartitionerRegistry::instance().get(name)(p, view, 4);
+      auto q = part::evaluate_partition(p, view, parts, 4);
+      EXPECT_LE(q.imbalance, 1.15) << name;
+    }
+  });
+}
+
+TEST(Partitioners, SmartPartitionersBeatNaiveOnesOnMeshes) {
+  // The paper's Table 2 story: RCB and RSB produce far smaller boundaries
+  // than BLOCK on an irregularly numbered mesh.
+  const auto mesh = wl::make_tet_mesh(10, 10, 10);
+  rt::Machine::run(4, [&](rt::Process& p) {
+    auto g = mesh_geocol(p, mesh);
+    auto view = g->view();
+    auto& registry = part::PartitionerRegistry::instance();
+    const auto cut_of = [&](const char* name) {
+      auto parts = registry.get(name)(p, view, 4);
+      return part::evaluate_partition(p, view, parts, 4).edge_cut;
+    };
+    const i64 block = cut_of("BLOCK");
+    const i64 random = cut_of("RANDOM");
+    const i64 rcb = cut_of("RCB");
+    const i64 inertial = cut_of("INERTIAL");
+    const i64 rsb = cut_of("RSB");
+    const i64 greedy = cut_of("GREEDY");
+    // Renumbered mesh: BLOCK over node numbers is as bad as random.
+    EXPECT_LT(rcb, block / 2) << "RCB should halve the BLOCK cut at least";
+    EXPECT_LT(rsb, block / 2);
+    EXPECT_LT(inertial, block / 2);
+    EXPECT_LT(greedy, block / 2);
+    EXPECT_LT(rcb, random);
+    EXPECT_LT(rsb, random);
+  });
+}
+
+TEST(Partitioners, KlRefinementNeverWorsensTheCut) {
+  const auto mesh = wl::make_tet_mesh(8, 8, 8);
+  rt::Machine::run(4, [&](rt::Process& p) {
+    auto g = mesh_geocol(p, mesh);
+    auto view = g->view();
+    auto base = part::partition_rcb(p, view, 4);
+    const auto q0 = part::evaluate_partition(p, view, base, 4);
+    auto refined = part::refine_kl(p, view, 4, base);
+    const auto q1 = part::evaluate_partition(p, view, refined, 4);
+    EXPECT_LE(q1.edge_cut, q0.edge_cut);
+    EXPECT_LE(q1.imbalance, 1.2);
+  });
+}
+
+TEST(Partitioners, WeightedRcbBalancesLoadNotCounts) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    // 1-D points: the left 8 carry weight 9, the right 8 weight 1. A
+    // weighted median at equal HALF-WEIGHT lands inside the left group.
+    constexpr i64 n = 16;
+    auto vdist = dist::Distribution::block(p, n);
+    std::vector<f64> xs, w;
+    for (i64 l = 0; l < vdist->my_local_size(); ++l) {
+      const i64 g = vdist->global_of(p.rank(), l);
+      xs.push_back(static_cast<f64>(g));
+      w.push_back(g < 8 ? 9.0 : 1.0);
+    }
+    core::GeoColBuilder b(p, vdist);
+    const std::span<const f64> coords[] = {xs};
+    b.geometry(coords).load(w);
+    auto g = b.build();
+    auto parts = part::partition_rcb(p, g->view(), 2);
+
+    // Total weight 8*9 + 8*1 = 80; part 0 must hold weight close to 40,
+    // i.e. only ~4-5 of the heavy points, not 8 points.
+    f64 w0 = 0.0;
+    for (std::size_t l = 0; l < parts.size(); ++l) {
+      if (parts[l] == 0) w0 += w[l];
+    }
+    w0 = rt::allreduce_sum(p, w0);
+    EXPECT_NEAR(w0, 40.0, 9.0);
+  });
+}
+
+TEST(Partitioners, RegistrySupportsCustomPartitioners) {
+  // The paper: "the user can link a customized partitioner as long as the
+  // calling sequence matches".
+  auto& registry = part::PartitionerRegistry::instance();
+  EXPECT_FALSE(registry.contains("MY_CUSTOM"));
+  registry.add("MY_CUSTOM",
+               [](rt::Process& p, const part::GeoColView& g, int nparts) {
+                 (void)p;
+                 std::vector<i64> parts(static_cast<std::size_t>(g.nlocal()),
+                                        static_cast<i64>(nparts - 1));
+                 return parts;
+               });
+  EXPECT_TRUE(registry.contains("MY_CUSTOM"));
+  rt::Machine::run(2, [](rt::Process& p) {
+    auto vdist = dist::Distribution::block(p, 10);
+    core::GeoColBuilder b(p, vdist);
+    auto g = b.build();
+    auto parts = part::PartitionerRegistry::instance().get("MY_CUSTOM")(
+        p, g->view(), 3);
+    for (i64 pt : parts) EXPECT_EQ(pt, 2);
+  });
+  EXPECT_THROW((void)registry.get("NO_SUCH_PARTITIONER"), chaos::ChaosError);
+}
+
+TEST(Partitioners, RsbRequiresConnectivityRcbRequiresGeometry) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    auto vdist = dist::Distribution::block(p, 10);
+    core::GeoColBuilder b(p, vdist);
+    auto g = b.build();  // neither geometry nor connectivity
+    EXPECT_THROW((void)part::partition_rcb(p, g->view(), 2),
+                 chaos::ChaosError);
+    EXPECT_THROW((void)part::partition_rsb(p, g->view(), 2),
+                 chaos::ChaosError);
+    rt::barrier(p);
+  });
+}

@@ -1,0 +1,64 @@
+// The iPSC/860 cost model: algebraic properties the benches depend on.
+#include <gtest/gtest.h>
+
+#include "rt/cost_model.hpp"
+
+namespace rt = chaos::rt;
+using chaos::f64;
+using chaos::i64;
+
+TEST(CostParams, SendCostIsAffineInBytes) {
+  rt::CostParams c;
+  EXPECT_DOUBLE_EQ(c.send_us(0), c.alpha_send_us);
+  const f64 d1 = c.send_us(1000) - c.send_us(0);
+  const f64 d2 = c.send_us(2000) - c.send_us(1000);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_DOUBLE_EQ(d1, 1000 * c.beta_us_per_byte);
+}
+
+TEST(CostParams, LatencyDominatesSmallMessages) {
+  // The iPSC/860 regime the paper's schedule-aggregation exploits: one big
+  // message is far cheaper than many small ones of the same total volume.
+  rt::CostParams c;
+  const f64 one_big = c.send_us(8 * 1024);
+  const f64 many_small = 1024 * c.send_us(8);
+  EXPECT_LT(one_big, many_small / 10.0);
+}
+
+TEST(CostParams, HopsGrowLogarithmically) {
+  EXPECT_DOUBLE_EQ(rt::CostParams::hops(1), 0.0);
+  EXPECT_DOUBLE_EQ(rt::CostParams::hops(2), 1.0);
+  EXPECT_DOUBLE_EQ(rt::CostParams::hops(4), 2.0);
+  EXPECT_DOUBLE_EQ(rt::CostParams::hops(5), 3.0);  // padded to next dimension
+  EXPECT_DOUBLE_EQ(rt::CostParams::hops(64), 6.0);
+}
+
+TEST(CostParams, BarrierScalesWithDimension) {
+  rt::CostParams c;
+  EXPECT_DOUBLE_EQ(c.barrier_us(1), 0.0);
+  EXPECT_DOUBLE_EQ(c.barrier_us(64), 6 * c.barrier_hop_us);
+}
+
+TEST(VirtualClock, ChargeAndAdvance) {
+  rt::VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now_us(), 0.0);
+  clock.charge(10.0);
+  clock.charge_ops(5, 2.0);
+  EXPECT_DOUBLE_EQ(clock.now_us(), 20.0);
+  clock.advance_to(15.0);  // behind: no effect
+  EXPECT_DOUBLE_EQ(clock.now_us(), 20.0);
+  clock.advance_to(30.0);
+  EXPECT_DOUBLE_EQ(clock.now_us(), 30.0);
+  EXPECT_DOUBLE_EQ(clock.now_sec(), 30.0e-6);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now_us(), 0.0);
+}
+
+TEST(ClockSection, MeasuresOnlyItsInterval) {
+  rt::VirtualClock clock;
+  clock.charge(100.0);
+  rt::ClockSection section(clock);
+  clock.charge(42.0);
+  EXPECT_DOUBLE_EQ(section.elapsed_us(), 42.0);
+  EXPECT_DOUBLE_EQ(section.elapsed_sec(), 42.0e-6);
+}

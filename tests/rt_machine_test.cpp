@@ -1,0 +1,168 @@
+// Unit tests for the virtual machine substrate: SPMD launch, point-to-point
+// messaging, determinism of virtual clocks, and failure propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "rt/collectives.hpp"
+#include "rt/machine.hpp"
+
+namespace rt = chaos::rt;
+using chaos::i64;
+
+TEST(Machine, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::array<std::atomic<int>, 8> seen{};
+  rt::Machine::run(8, [&](rt::Process& p) {
+    ++count;
+    ++seen[static_cast<std::size_t>(p.rank())];
+    EXPECT_EQ(p.nprocs(), 8);
+  });
+  EXPECT_EQ(count.load(), 8);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(Machine, SingleProcessRunsInline) {
+  bool ran = false;
+  rt::Machine::run(1, [&](rt::Process& p) {
+    ran = true;
+    EXPECT_TRUE(p.is_root());
+    EXPECT_EQ(p.nprocs(), 1);
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Machine, PointToPointRoundTrip) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    if (p.rank() == 0) {
+      std::vector<i64> payload{1, 2, 3, 42};
+      p.send<i64>(1, /*tag=*/7, payload);
+      auto back = p.recv<i64>(1, /*tag=*/8);
+      ASSERT_EQ(back.size(), 1u);
+      EXPECT_EQ(back[0], 48);
+    } else {
+      auto data = p.recv<i64>(0, 7);
+      EXPECT_EQ(data, (std::vector<i64>{1, 2, 3, 42}));
+      const i64 sum = std::accumulate(data.begin(), data.end(), i64{0});
+      p.send_value<i64>(0, 8, sum);
+    }
+  });
+}
+
+TEST(Machine, MessagesFromSameSourceArriveInOrder) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    constexpr int kMessages = 64;
+    if (p.rank() == 0) {
+      for (int i = 0; i < kMessages; ++i) p.send_value<int>(1, 3, i);
+    } else {
+      for (int i = 0; i < kMessages; ++i) {
+        EXPECT_EQ(p.recv_value<int>(0, 3), i);
+      }
+    }
+  });
+}
+
+TEST(Machine, TagsAreMatchedIndependently) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    if (p.rank() == 0) {
+      p.send_value<int>(1, /*tag=*/1, 100);
+      p.send_value<int>(1, /*tag=*/2, 200);
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(p.recv_value<int>(0, 2), 200);
+      EXPECT_EQ(p.recv_value<int>(0, 1), 100);
+    }
+  });
+}
+
+TEST(Machine, SendChargesClockAndStats) {
+  rt::Machine machine(2);
+  machine.run([](rt::Process& p) {
+    if (p.rank() == 0) {
+      std::vector<double> payload(100, 1.0);
+      p.send<double>(1, 0, payload);
+      EXPECT_GT(p.clock().now_us(), 0.0);
+      EXPECT_EQ(p.stats().messages_sent, 1);
+      EXPECT_EQ(p.stats().bytes_sent, 800);
+    } else {
+      auto v = p.recv<double>(0, 0);
+      EXPECT_EQ(v.size(), 100u);
+      EXPECT_EQ(p.stats().messages_received, 1);
+      EXPECT_EQ(p.stats().bytes_received, 800);
+    }
+  });
+  EXPECT_EQ(machine.total_stats().messages_sent, 1);
+  EXPECT_EQ(machine.total_stats().bytes_sent, 800);
+  EXPECT_GT(machine.max_virtual_time_us(), 0.0);
+}
+
+TEST(Machine, ReceiverClockAdvancesToMessageReadyTime) {
+  rt::Machine::run(2, [](rt::Process& p) {
+    if (p.rank() == 0) {
+      p.clock().charge(1e6);  // sender is far in the virtual future
+      p.send_value<int>(1, 0, 1);
+    } else {
+      (void)p.recv_value<int>(0, 0);
+      EXPECT_GE(p.clock().now_us(), 1e6);
+    }
+  });
+}
+
+TEST(Machine, VirtualTimeIsDeterministicAcrossRuns) {
+  auto run_once = [] {
+    rt::Machine machine(4);
+    machine.run([](rt::Process& p) {
+      std::vector<std::vector<i64>> send(4);
+      for (int d = 0; d < 4; ++d) {
+        send[static_cast<std::size_t>(d)].assign(
+            static_cast<std::size_t>(p.rank() + d + 1), 7);
+      }
+      auto recv = rt::alltoallv(p, send);
+      rt::barrier(p);
+      (void)recv;
+    });
+    return machine.max_virtual_time_us();
+  };
+  const double t1 = run_once();
+  const double t2 = run_once();
+  EXPECT_GT(t1, 0.0);
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(Machine, ExceptionInOneRankPropagatesAndReleasesOthers) {
+  EXPECT_THROW(
+      rt::Machine::run(4,
+                       [](rt::Process& p) {
+                         if (p.rank() == 2) throw chaos::ChaosError("boom");
+                         // Other ranks head into a barrier and must be
+                         // released by poisoning rather than deadlock.
+                         p.barrier_sync_only();
+                       }),
+      chaos::ChaosError);
+}
+
+TEST(Machine, MachineReusableAfterRun) {
+  rt::Machine machine(3);
+  for (int round = 0; round < 3; ++round) {
+    machine.run([&](rt::Process& p) {
+      auto sum = rt::allreduce_sum(p, i64{p.rank() + 1});
+      EXPECT_EQ(sum, 6);
+    });
+  }
+}
+
+TEST(Machine, CollectiveCounterIsUniqueAndAgreedUpon) {
+  rt::Machine machine(4);
+  machine.run([](rt::Process& p) {
+    const auto a = rt::collective_counter(p);
+    const auto b = rt::collective_counter(p);
+    EXPECT_NE(a, b);
+    // All ranks must see identical values.
+    auto all_a = rt::allgather(p, a);
+    auto all_b = rt::allgather(p, b);
+    for (auto v : all_a) EXPECT_EQ(v, a);
+    for (auto v : all_b) EXPECT_EQ(v, b);
+  });
+}

@@ -1,0 +1,162 @@
+// Workload generators: structural invariants of the synthetic mesh and the
+// MD water box, plus determinism across calls.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "workload/md.hpp"
+#include "workload/mesh.hpp"
+#include "workload/rng.hpp"
+
+namespace wl = chaos::wl;
+using chaos::f64;
+using chaos::i64;
+
+TEST(Mesh, SizesMatchThePaper) {
+  EXPECT_EQ(wl::mesh_10k().nnodes, 10648);   // "10K mesh points"
+  EXPECT_EQ(wl::mesh_53k().nnodes, 53428);   // "53K mesh points"
+}
+
+TEST(Mesh, EdgesAreValidAndSelfLoopFree) {
+  const auto m = wl::make_tet_mesh(6, 5, 4);
+  EXPECT_EQ(m.nnodes, 120);
+  EXPECT_EQ(static_cast<i64>(m.edge1.size()), m.nedges);
+  EXPECT_EQ(static_cast<i64>(m.edge2.size()), m.nedges);
+  for (i64 e = 0; e < m.nedges; ++e) {
+    EXPECT_GE(m.edge1[static_cast<std::size_t>(e)], 0);
+    EXPECT_LT(m.edge1[static_cast<std::size_t>(e)], m.nnodes);
+    EXPECT_GE(m.edge2[static_cast<std::size_t>(e)], 0);
+    EXPECT_LT(m.edge2[static_cast<std::size_t>(e)], m.nnodes);
+    EXPECT_NE(m.edge1[static_cast<std::size_t>(e)],
+              m.edge2[static_cast<std::size_t>(e)]);
+  }
+}
+
+TEST(Mesh, NoDuplicateUndirectedEdges) {
+  const auto m = wl::make_tet_mesh(5, 5, 5);
+  std::set<std::pair<i64, i64>> seen;
+  for (i64 e = 0; e < m.nedges; ++e) {
+    auto key = std::minmax(m.edge1[static_cast<std::size_t>(e)],
+                           m.edge2[static_cast<std::size_t>(e)]);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << "duplicate edge " << key.first << "-" << key.second;
+  }
+}
+
+TEST(Mesh, DegreeIsTetMeshLike) {
+  // Interior nodes of a Kuhn tetrahedralization have degree 14; the mesh
+  // average (with boundary) sits around 10-13 like real tet meshes.
+  const auto m = wl::make_tet_mesh(12, 12, 12);
+  const f64 avg_degree =
+      2.0 * static_cast<f64>(m.nedges) / static_cast<f64>(m.nnodes);
+  EXPECT_GT(avg_degree, 9.0);
+  EXPECT_LT(avg_degree, 14.5);
+}
+
+TEST(Mesh, RenumberingScramblesLocality) {
+  // With renumbering, consecutive node ids must NOT be spatially adjacent:
+  // the mean |edge id difference| should be large (O(n)), unlike the
+  // structured numbering where neighbors differ by O(nx*ny).
+  const auto m = wl::make_tet_mesh(10, 10, 10, /*seed=*/7, 0.25,
+                                   /*renumber=*/true);
+  f64 mean_gap = 0.0;
+  for (i64 e = 0; e < m.nedges; ++e) {
+    mean_gap += std::abs(static_cast<f64>(m.edge1[static_cast<std::size_t>(e)] -
+                                          m.edge2[static_cast<std::size_t>(e)]));
+  }
+  mean_gap /= static_cast<f64>(m.nedges);
+  EXPECT_GT(mean_gap, static_cast<f64>(m.nnodes) / 5.0);
+
+  const auto s = wl::make_tet_mesh(10, 10, 10, 7, 0.25, /*renumber=*/false);
+  f64 mean_gap_structured = 0.0;
+  for (i64 e = 0; e < s.nedges; ++e) {
+    mean_gap_structured += std::abs(
+        static_cast<f64>(s.edge1[static_cast<std::size_t>(e)] -
+                         s.edge2[static_cast<std::size_t>(e)]));
+  }
+  mean_gap_structured /= static_cast<f64>(s.nedges);
+  EXPECT_LT(mean_gap_structured, mean_gap / 2.0);
+}
+
+TEST(Mesh, DeterministicForEqualSeeds) {
+  const auto a = wl::make_tet_mesh(6, 6, 6, 99);
+  const auto b = wl::make_tet_mesh(6, 6, 6, 99);
+  EXPECT_EQ(a.edge1, b.edge1);
+  EXPECT_EQ(a.x, b.x);
+  const auto c = wl::make_tet_mesh(6, 6, 6, 100);
+  EXPECT_NE(a.edge1, c.edge1);
+}
+
+TEST(Md, PaperSizedSystem) {
+  const auto s = wl::make_water_box();
+  EXPECT_EQ(s.natoms, 648);  // 216 waters
+  EXPECT_GT(s.npairs, 0);
+}
+
+TEST(Md, SystemIsNeutralAndChargesAreWaterLike) {
+  const auto s = wl::make_water_box(4);
+  f64 total = 0.0;
+  for (f64 q : s.charge) total += q;
+  EXPECT_NEAR(total, 0.0, 1e-9);
+  for (i64 a = 0; a < s.natoms; ++a) {
+    if (a % 3 == 0) {
+      EXPECT_LT(s.charge[static_cast<std::size_t>(a)], 0.0);  // oxygen
+    } else {
+      EXPECT_GT(s.charge[static_cast<std::size_t>(a)], 0.0);  // hydrogen
+    }
+  }
+}
+
+TEST(Md, PairsRespectCutoffAndExcludeIntramolecular) {
+  const auto s = wl::make_water_box(4, 6.0);
+  auto min_image = [&](f64 d) {
+    if (d > 0.5 * s.box) d -= s.box;
+    if (d < -0.5 * s.box) d += s.box;
+    return d;
+  };
+  for (i64 k = 0; k < s.npairs; ++k) {
+    const i64 a = s.pair1[static_cast<std::size_t>(k)];
+    const i64 b = s.pair2[static_cast<std::size_t>(k)];
+    EXPECT_NE(a / 3, b / 3) << "intramolecular pair in the neighbor list";
+    const f64 dx = min_image(s.x[static_cast<std::size_t>(a)] -
+                             s.x[static_cast<std::size_t>(b)]);
+    const f64 dy = min_image(s.y[static_cast<std::size_t>(a)] -
+                             s.y[static_cast<std::size_t>(b)]);
+    const f64 dz = min_image(s.z[static_cast<std::size_t>(a)] -
+                             s.z[static_cast<std::size_t>(b)]);
+    EXPECT_LT(std::sqrt(dx * dx + dy * dy + dz * dz), 6.0);
+  }
+}
+
+TEST(Md, PairDensityIsLiquidLike) {
+  const auto s = wl::make_water_box(6, 8.0);
+  // Each atom should see dozens of neighbors within 8 A at water density.
+  const f64 pairs_per_atom =
+      2.0 * static_cast<f64>(s.npairs) / static_cast<f64>(s.natoms);
+  EXPECT_GT(pairs_per_atom, 40.0);
+  EXPECT_LT(pairs_per_atom, 300.0);
+}
+
+TEST(Rng, DeterministicAndUniformish) {
+  wl::Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  wl::Rng r(17);
+  f64 mean = 0.0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    const f64 v = r.next_f64();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    mean += v;
+  }
+  mean /= kSamples;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
