@@ -1,88 +1,197 @@
 // Ablation B: translation-table organization. PARTI/CHAOS distributes the
 // global-to-local translation table page-wise; the alternative is full
 // replication (O(N) memory per process, zero-communication dereference).
-// This bench sweeps page size and replication on the 53K mesh inspector.
+// Two measurements:
+//   1. dist-layer dereference microbench on the 53K mesh's edge endpoints,
+//      paged at page sizes 1 / 64 / 4096 vs replicated, with per-locate
+//      alltoallv-round accounting — written to BENCH_ttable.json so the
+//      perf trajectory of the hot path is tracked from PR to PR;
+//   2. the full RCB inspector pipeline swept over page sizes (context).
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 
 namespace bench = chaos::bench;
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
 using chaos::f64;
 using chaos::i64;
 
+namespace {
+
+struct ConfigResult {
+  std::string mode;  // "paged" or "replicated"
+  i64 page_size = 0;
+  i64 locate_calls = 0;
+  i64 alltoallv_rounds = 0;  // rank-0 rounds (identical on every rank)
+  i64 queries_total = 0;     // machine-total queries over all locate calls
+  f64 modeled_seconds = 0.0;
+  f64 wall_seconds = 0.0;         ///< whole run incl. machine + table build
+  f64 locate_wall_seconds = 0.0;  ///< just the locate loop (barrier-fenced)
+  f64 queries_per_sec_wall = 0.0;
+};
+
+constexpr int kProcs = 16;
+constexpr int kLocateCalls = 4;
+
+ConfigResult run_config(const bench::Workload& w, i64 page, bool repl) {
+  ConfigResult r;
+  r.mode = repl ? "replicated" : "paged";
+  r.page_size = page;
+  const auto t0 = std::chrono::steady_clock::now();
+  rt::Machine machine(kProcs);
+  machine.run([&](rt::Process& p) {
+    // The inspector's real layout: an irregular map scattering nodes.
+    auto md = dist::Distribution::block(p, w.nnodes);
+    std::vector<i64> slice(static_cast<std::size_t>(md->my_local_size()));
+    for (std::size_t l = 0; l < slice.size(); ++l) {
+      const i64 g = md->global_of(p.rank(), static_cast<i64>(l));
+      slice[l] = (g * 13 + 5) % p.nprocs();
+    }
+    auto d = dist::Distribution::irregular_from_map(p, slice, *md, page, repl);
+
+    // The inspector's traffic: dereference every local edge endpoint.
+    std::vector<i64> queries;
+    auto edist = dist::Distribution::block(p, w.nedges);
+    queries.reserve(static_cast<std::size_t>(2 * edist->my_local_size()));
+    for (i64 l = 0; l < edist->my_local_size(); ++l) {
+      const i64 e = edist->global_of(p.rank(), l);
+      queries.push_back(w.e1[static_cast<std::size_t>(e)]);
+      queries.push_back(w.e2[static_cast<std::size_t>(e)]);
+    }
+
+    const auto& table = *d->table();
+    const i64 rounds_before = table.stats().alltoallv_rounds;
+    // Barrier-fence the loop so the wall measurement covers only the
+    // dereference traffic, not machine construction or the table build.
+    rt::barrier(p);
+    const auto w0 = std::chrono::steady_clock::now();
+    rt::ClockSection section(p.clock());
+    for (int k = 0; k < kLocateCalls; ++k) {
+      auto entries = d->locate(p, queries);
+      (void)entries;
+    }
+    rt::barrier(p);
+    const f64 modeled = rt::allreduce_max(p, section.elapsed_sec());
+    if (p.is_root()) {
+      r.modeled_seconds = modeled;
+      r.locate_calls = kLocateCalls;
+      r.alltoallv_rounds = table.stats().alltoallv_rounds - rounds_before;
+      r.locate_wall_seconds =
+          std::chrono::duration<f64>(std::chrono::steady_clock::now() - w0)
+              .count();
+    }
+  });
+  r.wall_seconds =
+      std::chrono::duration<f64>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.queries_total = 2 * w.nedges * kLocateCalls;  // every endpoint, each call
+  r.queries_per_sec_wall =
+      r.locate_wall_seconds > 0
+          ? static_cast<f64>(r.queries_total) / r.locate_wall_seconds
+          : 0.0;  // under clock resolution: report 0, not a fake rate
+  return r;
+}
+
+bool write_json(const bench::Workload& w,
+                const std::vector<ConfigResult>& results) {
+  std::FILE* f = std::fopen("BENCH_ttable.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_ttable.json for writing\n");
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"ttable_dereference\",\n");
+  std::fprintf(f, "  \"workload\": \"%s\",\n", w.name.c_str());
+  std::fprintf(f, "  \"nnodes\": %lld,\n", static_cast<long long>(w.nnodes));
+  std::fprintf(f, "  \"nedges\": %lld,\n", static_cast<long long>(w.nedges));
+  std::fprintf(f, "  \"procs\": %d,\n", kProcs);
+  std::fprintf(f, "  \"locate_calls\": %d,\n", kLocateCalls);
+  std::fprintf(f, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"page_size\": %lld, "
+                 "\"alltoallv_rounds\": %lld, "
+                 "\"rounds_per_locate\": %.1f, "
+                 "\"queries_total\": %lld, "
+                 "\"modeled_seconds\": %.6f, "
+                 "\"locate_wall_seconds\": %.6f, \"wall_seconds\": %.6f, "
+                 "\"queries_per_sec_wall\": %.0f}%s\n",
+                 r.mode.c_str(), static_cast<long long>(r.page_size),
+                 static_cast<long long>(r.alltoallv_rounds),
+                 static_cast<f64>(r.alltoallv_rounds) /
+                     static_cast<f64>(r.locate_calls),
+                 static_cast<long long>(r.queries_total),
+                 r.modeled_seconds, r.locate_wall_seconds, r.wall_seconds,
+                 r.queries_per_sec_wall,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
 int main() {
   std::printf("Ablation B: translation-table page size / replication\n");
-  std::printf("53K mesh @ 16 procs, RCB pipeline, inspector phase "
-              "(modeled seconds) + host wall clock\n\n");
+  std::printf("53K mesh @ %d procs (modeled seconds + host wall clock)\n\n",
+              kProcs);
 
   const auto w = bench::workload_mesh_53k();
+
+  // --- 1. dist-layer dereference microbench -> BENCH_ttable.json -----------
+  std::printf("%-24s %10s %12s %14s %12s %16s\n", "table organization",
+              "rounds", "rounds/loc", "modeled (s)", "loc wall (s)",
+              "queries/s (wall)");
+  std::vector<ConfigResult> results;
+  for (const i64 page : {i64{1}, i64{64}, i64{4096}}) {
+    results.push_back(run_config(w, page, /*repl=*/false));
+  }
+  // Page size is meaningless for a replicated table; report 0 in the JSON
+  // so consumers never group it with the paged pg=4096 row. (The table
+  // itself still needs a legal page_size >= 1 to build.)
+  {
+    auto repl = run_config(w, 4096, /*repl=*/true);
+    repl.page_size = 0;
+    results.push_back(std::move(repl));
+  }
+  for (const auto& r : results) {
+    const std::string label =
+        r.mode == "paged" ? "paged, pg=" + std::to_string(r.page_size)
+                          : "replicated";
+    std::printf("%-24s %10lld %12.1f %14.3f %12.3f %16.0f\n", label.c_str(),
+                static_cast<long long>(r.alltoallv_rounds),
+                static_cast<f64>(r.alltoallv_rounds) /
+                    static_cast<f64>(r.locate_calls),
+                r.modeled_seconds, r.locate_wall_seconds,
+                r.queries_per_sec_wall);
+    std::fflush(stdout);
+  }
+  if (write_json(w, results)) {
+    std::printf("\nwrote BENCH_ttable.json\n");
+  }
+
+  // --- 2. pipeline context: inspector phase under the paged table ----------
+  std::printf("\nRCB inspector pipeline, page-size sweep:\n");
   std::printf("%-24s %14s %14s %14s\n", "table organization",
               "inspector (s)", "remap (s)", "wall (s)");
-
-  for (i64 page : {64, 1024, 4096, 32768}) {
+  for (const i64 page : {i64{64}, i64{1024}, i64{4096}, i64{32768}}) {
     bench::PipelineConfig cfg;
     cfg.partitioner = "RCB";
     cfg.iterations = 1;
     cfg.ttable_page_size = page;
-    const auto r = bench::run_hand_pipeline(16, w, cfg);
+    const auto r = bench::run_hand_pipeline(kProcs, w, cfg);
     std::printf("%-24s %14.2f %14.2f %14.2f\n",
                 ("distributed, page=" + std::to_string(page)).c_str(),
                 r.inspector, r.remap, r.wall_seconds);
     std::fflush(stdout);
   }
-  {
-    bench::PipelineConfig cfg;
-    cfg.partitioner = "RCB";
-    cfg.iterations = 1;
-    cfg.ttable_replicated = true;
-    // Replication is plumbed through irregular_from_map inside the mapper;
-    // exercise it via a direct run with the replicated flag.
-    // (The hand pipeline honors ttable_page_size only; replicated mode is
-    // compared through the dist-layer microbench below.)
-    std::printf("\nreplicated-table dereference vs distributed (dist layer, "
-                "53K indices, 16 procs):\n");
-  }
 
-  // Direct microcomparison at the dist layer.
-  {
-    namespace rt = chaos::rt;
-    namespace dist = chaos::dist;
-    for (bool repl : {false, true}) {
-      f64 modeled = 0.0, wall = 0.0;
-      const auto t0 = std::chrono::steady_clock::now();
-      rt::Machine machine(16);
-      machine.run([&](rt::Process& p) {
-        auto md = dist::Distribution::block(p, w.nnodes);
-        std::vector<i64> slice(static_cast<std::size_t>(md->my_local_size()));
-        for (std::size_t l = 0; l < slice.size(); ++l) {
-          const i64 g = md->global_of(p.rank(), static_cast<i64>(l));
-          slice[l] = (g * 13 + 5) % p.nprocs();
-        }
-        auto d = dist::Distribution::irregular_from_map(p, slice, *md, 4096,
-                                                        repl);
-        // Dereference every edge endpoint once (the inspector's traffic).
-        std::vector<i64> queries;
-        auto edist = dist::Distribution::block(p, w.nedges);
-        for (i64 l = 0; l < edist->my_local_size(); ++l) {
-          const i64 e = edist->global_of(p.rank(), l);
-          queries.push_back(w.e1[static_cast<std::size_t>(e)]);
-          queries.push_back(w.e2[static_cast<std::size_t>(e)]);
-        }
-        rt::ClockSection section(p.clock());
-        auto entries = d->locate(p, queries);
-        (void)entries;
-        const f64 t = rt::allreduce_max(p, section.elapsed_sec());
-        if (p.is_root()) modeled = t;
-      });
-      wall = std::chrono::duration<f64>(std::chrono::steady_clock::now() - t0)
-                 .count();
-      std::printf("  %-22s modeled %8.3f s   wall %6.2f s   memory/proc "
-                  "%s\n",
-                  repl ? "replicated" : "distributed (paged)", modeled, wall,
-                  repl ? "O(N) entries" : "O(N/P) entries");
-      std::fflush(stdout);
-    }
-  }
   std::printf("\nshape check: page size barely matters (queries batch per "
               "home anyway); replication removes the dereference exchange at "
               "O(N) memory per process — the PARTI trade-off.\n");

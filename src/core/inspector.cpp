@@ -9,11 +9,14 @@ namespace chaos::core {
 namespace {
 
 /// Key for the duplicate-removal hash: (owner, remote local index).
+/// splitmix64 finalization — full avalanche, so sequential local indices
+/// (the common case after a remap) spread across buckets instead of
+/// clustering in one probe chain.
 struct PairHash {
   std::size_t operator()(const std::pair<i32, i64>& k) const {
-    u64 h = static_cast<u64>(k.first) * 0x9e3779b97f4a7c15ull;
-    h ^= static_cast<u64>(k.second) + 0x7f4a7c15u + (h << 6) + (h >> 2);
-    return static_cast<std::size_t>(h);
+    return static_cast<std::size_t>(dist::detail::mix64(
+        (static_cast<u64>(static_cast<u32>(k.first)) << 40) ^
+        static_cast<u64>(k.second)));
   }
 };
 
@@ -34,6 +37,9 @@ LocalizedMany localize_impl(rt::Process& p, const dist::Distribution& d,
   // references and assign each distinct one a per-owner ordinal.
   const i64 nlocal = d.my_local_size();
   std::unordered_map<std::pair<i32, i64>, i64, PairHash> ordinal_of;
+  // Sizing both tables to the batch up front removes every rehash/realloc
+  // from the dedup loop (worst case: all references off-process, distinct).
+  ordinal_of.reserve(total);
   std::vector<std::vector<i64>> requests(static_cast<std::size_t>(p.nprocs()));
   struct Pending {
     std::size_t batch;
@@ -42,6 +48,7 @@ LocalizedMany localize_impl(rt::Process& p, const dist::Distribution& d,
     i64 ordinal;
   };
   std::vector<Pending> pending;
+  pending.reserve(total);
 
   std::size_t cursor = 0;
   for (std::size_t b = 0; b < batches.size(); ++b) {

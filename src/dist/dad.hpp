@@ -1,0 +1,59 @@
+// Distributed-array descriptors (DADs). A DAD is the identity of one
+// distribution *instance*: its kind, extent, process count, layout parameter
+// and a machine-wide unique incarnation number minted collectively at
+// construction. Two BLOCK distributions of the same array shape still carry
+// different incarnations — that is what lets the Section 3 reuse guard detect
+// REDISTRIBUTE (a remapped array gets a fresh DAD) with one integer compare
+// instead of comparing ownership tables.
+#pragma once
+
+#include "rt/types.hpp"
+
+namespace chaos::dist {
+
+enum class DistKind : u8 { Block, Cyclic, BlockCyclic, Irregular };
+
+[[nodiscard]] constexpr const char* to_string(DistKind k) {
+  switch (k) {
+    case DistKind::Block: return "Block";
+    case DistKind::Cyclic: return "Cyclic";
+    case DistKind::BlockCyclic: return "BlockCyclic";
+    case DistKind::Irregular: return "Irregular";
+  }
+  return "?";
+}
+
+namespace detail {
+/// splitmix64 finalizer: full-avalanche mixing at ~3 multiplies, so DAD keys
+/// spread uniformly in the reuse registry's hash table.
+[[nodiscard]] constexpr u64 mix64(u64 h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+}  // namespace detail
+
+struct Dad {
+  DistKind kind = DistKind::Block;
+  i64 size = 0;         ///< global extent of the index space
+  i32 nprocs = 0;       ///< process count the layout was built for
+  i64 param = 0;        ///< block size (BLOCK/BLOCK_CYCLIC) or page size
+  u64 incarnation = 0;  ///< machine-wide unique id of this instance
+
+  /// Hash key for registry maps. Incarnations are machine-unique, so mixing
+  /// them dominates; the remaining fields guard against hand-built DADs that
+  /// share an incarnation (as the unit tests do).
+  [[nodiscard]] u64 key() const {
+    u64 h = detail::mix64(incarnation);
+    h = detail::mix64(h ^ static_cast<u64>(size));
+    h = detail::mix64(h ^ (static_cast<u64>(param) << 8) ^
+                      (static_cast<u64>(nprocs) << 2) ^
+                      static_cast<u64>(kind));
+    return h;
+  }
+
+  friend bool operator==(const Dad&, const Dad&) = default;
+};
+
+}  // namespace chaos::dist

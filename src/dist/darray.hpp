@@ -1,0 +1,127 @@
+// A distributed data array: this process's owned segment of a 1-D global
+// array plus a ghost region sized by the current communication schedule.
+// Executors address elements through "localized" indices — [0, nlocal) hits
+// the owned segment, [nlocal, nlocal+nghost) the gathered off-process copies
+// — so the inner loops are branch-one-compare, no hashing, no translation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "rt/collectives.hpp"
+
+namespace chaos::dist {
+
+struct RemapPlan;
+
+template <typename T>
+class DistributedArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Collective (all processes construct together against one distribution).
+  DistributedArray(rt::Process& p, std::shared_ptr<const Distribution> d,
+                   T init = T{})
+      : dist_(std::move(d)) {
+    CHAOS_CHECK(dist_ != nullptr, "DistributedArray: null distribution");
+    CHAOS_CHECK(dist_->nprocs() == p.nprocs(),
+                "DistributedArray: distribution built for another machine");
+    data_.assign(static_cast<std::size_t>(dist_->my_local_size()), init);
+  }
+
+  [[nodiscard]] const Distribution& dist() const { return *dist_; }
+  [[nodiscard]] const std::shared_ptr<const Distribution>& dist_ptr() const {
+    return dist_;
+  }
+  [[nodiscard]] const Dad& dad() const { return dist_->dad(); }
+
+  [[nodiscard]] i64 nlocal() const { return static_cast<i64>(data_.size()); }
+  [[nodiscard]] i64 nghost() const { return static_cast<i64>(ghost_.size()); }
+
+  [[nodiscard]] std::span<T> local() { return data_; }
+  [[nodiscard]] std::span<const T> local() const { return data_; }
+  [[nodiscard]] std::span<T> ghost() { return ghost_; }
+  [[nodiscard]] std::span<const T> ghost() const { return ghost_; }
+
+  /// Reads through a localized index (inspector output): owned segment below
+  /// nlocal, ghost region above.
+  [[nodiscard]] T localized(i64 ref) const {
+    return ref < nlocal() ? data_[static_cast<std::size_t>(ref)]
+                          : ghost_[static_cast<std::size_t>(ref - nlocal())];
+  }
+
+  void resize_ghost(i64 n) {
+    CHAOS_CHECK(n >= 0, "resize_ghost: negative size");
+    ghost_.assign(static_cast<std::size_t>(n), T{});
+  }
+
+  /// Sets every owned element from its global index. Local-only.
+  template <typename Fn>
+  void fill_by_global(Fn&& fn) {
+    for (std::size_t l = 0; l < data_.size(); ++l) {
+      data_[l] = static_cast<T>(fn(dist_->my_global_of(static_cast<i64>(l))));
+    }
+  }
+
+  /// Replaces the owned segment (e.g. with a remapped image of the array).
+  void assign_local(std::vector<T>&& values) {
+    CHAOS_CHECK(static_cast<i64>(values.size()) == dist_->my_local_size(),
+                "assign_local: segment size does not match the distribution");
+    data_ = std::move(values);
+  }
+
+  /// Collective: reassembles the full global array on every process
+  /// (test/debug path — O(N) everywhere by design).
+  [[nodiscard]] std::vector<T> to_global(rt::Process& p) const {
+    const auto globals = dist_->my_globals();
+    const auto all_g = rt::allgatherv<i64>(p, globals);
+    const auto all_v = rt::allgatherv<T>(p, std::span<const T>(data_));
+    std::vector<T> out(static_cast<std::size_t>(dist_->size()));
+    for (std::size_t k = 0; k < all_g.size(); ++k) {
+      out[static_cast<std::size_t>(all_g[k])] = all_v[k];
+    }
+    return out;
+  }
+
+  /// Collective: moves the owned segment onto @p to with a prebuilt plan
+  /// (one plan moves every aligned array — the REDISTRIBUTE contract).
+  void redistribute(rt::Process& p, const RemapPlan& plan,
+                    std::shared_ptr<const Distribution> to);
+
+ private:
+  std::shared_ptr<const Distribution> dist_;
+  std::vector<T> data_;
+  std::vector<T> ghost_;
+};
+
+}  // namespace chaos::dist
+
+#include "dist/remap.hpp"
+
+namespace chaos::dist {
+
+template <typename T>
+void DistributedArray<T>::redistribute(rt::Process& p, const RemapPlan& plan,
+                                       std::shared_ptr<const Distribution> to) {
+  // Every guard fires BEFORE the exchange: a stale or mismatched plan must
+  // not leave some ranks mid-collective (or the array half-mutated) while
+  // others throw. Incarnations pin the plan to the exact distribution
+  // instances it was built between.
+  CHAOS_CHECK(to != nullptr, "redistribute: null target distribution");
+  CHAOS_CHECK(plan.from_incarnation == dist_->dad().incarnation,
+              "redistribute: plan was built from a different source "
+              "distribution");
+  CHAOS_CHECK(plan.to_incarnation == to->dad().incarnation,
+              "redistribute: plan was built for a different target "
+              "distribution");
+  CHAOS_CHECK(plan.nlocal_to == to->my_local_size(),
+              "redistribute: plan does not match the target distribution");
+  data_ = apply_remap<T>(p, plan, data_);
+  dist_ = std::move(to);
+  ghost_.clear();  // schedules against the old layout are void
+}
+
+}  // namespace chaos::dist

@@ -1,0 +1,192 @@
+#include "dist/translation_table.hpp"
+
+#include <algorithm>
+
+#include "rt/collectives.hpp"
+
+namespace chaos::dist {
+
+namespace {
+
+/// One ownership claim routed to a page home during build.
+struct Claim {
+  i64 g;      ///< global index
+  i64 local;  ///< local offset at the owner
+};
+
+}  // namespace
+
+std::shared_ptr<const TranslationTable> TranslationTable::build(
+    rt::Process& p, i64 n, std::span<const i64> mine, i64 page_size,
+    bool replicated) {
+  CHAOS_CHECK(n >= 0, "translation table: negative global size");
+  CHAOS_CHECK(page_size >= 1, "translation table: page size must be >= 1");
+  auto tt = std::shared_ptr<TranslationTable>(new TranslationTable());
+  tt->n_ = n;
+  tt->page_size_ = page_size;
+  tt->replicated_ = replicated;
+  tt->nprocs_ = p.nprocs();
+  tt->my_rank_ = p.rank();
+
+  for (i64 g : mine) {
+    CHAOS_CHECK(g >= 0 && g < n,
+                "translation table: claimed global index out of range");
+  }
+  tt->local_counts_ = rt::allgather(p, static_cast<i64>(mine.size()));
+  i64 total = 0;
+  for (i64 c : tt->local_counts_) total += c;
+  CHAOS_CHECK(total == n,
+              "translation table: claims do not cover the index space "
+              "exactly (claimed " +
+                  std::to_string(total) + " of " + std::to_string(n) + ")");
+
+  if (replicated) {
+    // Everyone ships (global, local) to everyone; block offsets identify the
+    // owning rank, so no owner field travels.
+    std::vector<Claim> claims;
+    claims.reserve(mine.size());
+    for (std::size_t l = 0; l < mine.size(); ++l) {
+      claims.push_back(Claim{mine[l], static_cast<i64>(l)});
+    }
+    std::vector<i64> offsets;
+    const auto all = rt::allgatherv<Claim>(p, claims, &offsets);
+    tt->proc_.assign(static_cast<std::size_t>(n), -1);
+    tt->local_.assign(static_cast<std::size_t>(n), -1);
+    for (int r = 0; r < p.nprocs(); ++r) {
+      for (i64 k = offsets[static_cast<std::size_t>(r)];
+           k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+        const auto& c = all[static_cast<std::size_t>(k)];
+        auto slot = static_cast<std::size_t>(c.g);
+        CHAOS_CHECK(tt->proc_[slot] == -1,
+                    "translation table: global " + std::to_string(c.g) +
+                        " claimed by more than one process");
+        tt->proc_[slot] = r;
+        tt->local_[slot] = c.local;
+      }
+    }
+    for (i64 g = 0; g < n; ++g) {
+      CHAOS_CHECK(tt->proc_[static_cast<std::size_t>(g)] != -1,
+                  "translation table: global " + std::to_string(g) +
+                      " claimed by no process");
+    }
+    p.clock().charge_ops(n, p.params().mem_us_per_word);
+    return tt;
+  }
+
+  // Paged: route each claim to its page home in one exchange, then fill and
+  // validate the pages this process hosts.
+  const i64 npages = n == 0 ? 0 : (n + page_size - 1) / page_size;
+  const i64 my_pages =
+      npages > p.rank() ? (npages - 1 - p.rank()) / p.nprocs() + 1 : 0;
+  tt->proc_.assign(static_cast<std::size_t>(my_pages * page_size), -1);
+  tt->local_.assign(static_cast<std::size_t>(my_pages * page_size), -1);
+
+  std::vector<std::vector<Claim>> outgoing(
+      static_cast<std::size_t>(p.nprocs()));
+  for (std::size_t l = 0; l < mine.size(); ++l) {
+    outgoing[static_cast<std::size_t>(tt->home_of(mine[l]))].push_back(
+        Claim{mine[l], static_cast<i64>(l)});
+  }
+  const auto incoming = rt::alltoallv(p, outgoing);
+  for (int s = 0; s < p.nprocs(); ++s) {
+    for (const auto& c : incoming[static_cast<std::size_t>(s)]) {
+      const std::size_t slot = tt->my_slot(c.g);
+      CHAOS_CHECK(tt->proc_[slot] == -1,
+                  "translation table: global " + std::to_string(c.g) +
+                      " claimed by more than one process");
+      tt->proc_[slot] = s;
+      tt->local_[slot] = c.local;
+    }
+  }
+  // Coverage: every slot of every hosted page that maps to a real global
+  // must have been claimed (padding slots past n stay -1 and are never hit).
+  for (i64 k = 0; k < my_pages; ++k) {
+    const i64 pid = p.rank() + k * p.nprocs();
+    const i64 lo = pid * page_size;
+    const i64 hi = std::min(n, lo + page_size);
+    for (i64 g = lo; g < hi; ++g) {
+      CHAOS_CHECK(tt->proc_[static_cast<std::size_t>(k * page_size +
+                                                     (g - lo))] != -1,
+                  "translation table: global " + std::to_string(g) +
+                      " claimed by no process");
+    }
+  }
+  p.clock().charge_ops(static_cast<i64>(mine.size()) + my_pages * page_size,
+                       p.params().mem_us_per_word);
+  return tt;
+}
+
+std::vector<Entry> TranslationTable::dereference(
+    rt::Process& p, std::span<const i64> queries) const {
+  ++stats_.dereference_calls;
+  stats_.queries += static_cast<i64>(queries.size());
+  std::vector<Entry> out(queries.size());
+
+  for (i64 q : queries) {
+    CHAOS_CHECK(q >= 0 && q < n_,
+                "translation table: dereferenced index " + std::to_string(q) +
+                    " outside [0, " + std::to_string(n_) + ")");
+  }
+
+  if (replicated_) {
+    // Local-only answer path: zero exchange rounds by construction.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto g = static_cast<std::size_t>(queries[i]);
+      out[i] = Entry{proc_[g], local_[g]};
+    }
+    p.clock().charge_ops(static_cast<i64>(queries.size()),
+                         p.params().mem_us_per_word);
+    return out;
+  }
+
+  // Paged: answer self-homed pages directly; batch everything else into one
+  // request/response round with sorted, deduplicated per-home vectors.
+  std::vector<std::vector<i64>> requests(static_cast<std::size_t>(nprocs_));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const i64 q = queries[i];
+    const int home = home_of(q);
+    if (home == my_rank_) {
+      const std::size_t slot = my_slot(q);
+      out[i] = Entry{proc_[slot], local_[slot]};
+    } else {
+      requests[static_cast<std::size_t>(home)].push_back(q);
+      ++stats_.remote_queries;
+    }
+  }
+  i64 remote = 0;  // distinct remote targets after dedup (wire volume)
+  for (auto& r : requests) {
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+    remote += static_cast<i64>(r.size());
+  }
+
+  // The exchange is collective even when this process asks nothing: peers
+  // may be asking us. One round = request alltoallv + response alltoallv.
+  ++stats_.alltoallv_rounds;
+  const auto asked = rt::alltoallv(p, requests);
+  std::vector<std::vector<Entry>> replies(static_cast<std::size_t>(nprocs_));
+  for (std::size_t s = 0; s < asked.size(); ++s) {
+    replies[s].reserve(asked[s].size());
+    for (i64 g : asked[s]) {
+      const std::size_t slot = my_slot(g);
+      replies[s].push_back(Entry{proc_[slot], local_[slot]});
+    }
+  }
+  const auto answers = rt::alltoallv(p, replies);
+
+  // Resolve remote queries by binary search in the sorted request vector —
+  // answers[home] is index-aligned with requests[home] by construction.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const i64 q = queries[i];
+    const auto home = static_cast<std::size_t>(home_of(q));
+    if (static_cast<int>(home) == my_rank_) continue;
+    const auto& req = requests[home];
+    const auto it = std::lower_bound(req.begin(), req.end(), q);
+    out[i] = answers[home][static_cast<std::size_t>(it - req.begin())];
+  }
+  p.clock().charge_ops(static_cast<i64>(queries.size()) + 2 * remote,
+                       p.params().mem_us_per_word);
+  return out;
+}
+
+}  // namespace chaos::dist

@@ -147,6 +147,45 @@ TEST(TranslationTable, RejectsOutOfRangeClaims) {
       chaos::ChaosError);
 }
 
+TEST(TranslationTable, BuildFromEmptyRankPagedAndReplicatedAgree) {
+  // Ranks 1 and 3 own nothing: the pager must still host their share of the
+  // pages, accept a zero-length claim vector, and answer queries that
+  // resolve to the two non-empty ranks. Locks down the empty-rank edge for
+  // both table organizations, including page_size 1 (one global per page).
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 n = 40;
+    std::vector<i64> mine;
+    if (p.rank() == 0) {
+      for (i64 g = 0; g < n; g += 2) mine.push_back(g);  // evens
+    } else if (p.rank() == 2) {
+      for (i64 g = 1; g < n; g += 2) mine.push_back(g);  // odds
+    }
+    for (const i64 page : {i64{1}, i64{4}, i64{64}}) {
+      for (const bool repl : {false, true}) {
+        auto tt = dist::TranslationTable::build(p, n, mine, page, repl);
+        EXPECT_EQ(tt->local_count(0), n / 2);
+        EXPECT_EQ(tt->local_count(1), 0);
+        EXPECT_EQ(tt->local_count(2), n / 2);
+        EXPECT_EQ(tt->local_count(3), 0);
+        std::vector<i64> all(static_cast<std::size_t>(n));
+        std::iota(all.begin(), all.end(), 0);
+        auto entries = tt->dereference(p, all);
+        for (i64 g = 0; g < n; ++g) {
+          const auto& e = entries[static_cast<std::size_t>(g)];
+          EXPECT_EQ(e.proc, g % 2 == 0 ? 0 : 2);
+          EXPECT_EQ(e.local, g / 2);
+        }
+        // Empty ranks also query nothing — the exchange must tolerate a
+        // rank that neither owns nor asks.
+        std::vector<i64> q;
+        if (!mine.empty()) q = {0, n - 1};
+        auto sparse = tt->dereference(p, q);
+        EXPECT_EQ(sparse.size(), q.size());
+      }
+    }
+  });
+}
+
 TEST(TranslationTable, ReplicatedAndDistributedAgree) {
   rt::Machine::run(4, [](rt::Process& p) {
     constexpr i64 n = 300;
