@@ -169,6 +169,9 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
       result.gather_volume = vol;
     }
   });
+  const rt::MessageStats totals = machine.total_stats();
+  result.alltoallv_calls = totals.alltoallv_calls;
+  result.alltoallv_bytes = totals.alltoallv_bytes;
 
   result.wall_seconds =
       std::chrono::duration<f64>(std::chrono::steady_clock::now() - wall_start)
@@ -256,6 +259,9 @@ PhaseResult run_compiler_pipeline(int procs, const Workload& w,
       result.executor = me;
     }
   });
+  const rt::MessageStats totals = machine.total_stats();
+  result.alltoallv_calls = totals.alltoallv_calls;
+  result.alltoallv_bytes = totals.alltoallv_bytes;
 
   result.wall_seconds =
       std::chrono::duration<f64>(std::chrono::steady_clock::now() - wall_start)

@@ -56,6 +56,10 @@ struct PhaseResult {
   f64 wall_seconds = 0.0;   ///< host wall clock of the whole pipeline
   i64 gather_messages = 0;  ///< machine-total messages per executor sweep
   i64 gather_volume = 0;    ///< machine-total off-process words per sweep
+  /// Modeled all-to-all traffic of the whole run (machine-total exchanges
+  /// and off-process payload bytes, from rt::MessageStats).
+  i64 alltoallv_calls = 0;
+  i64 alltoallv_bytes = 0;
 
   [[nodiscard]] f64 total() const {
     return graph_gen + partitioner + inspector + remap + executor;

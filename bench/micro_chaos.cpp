@@ -96,12 +96,14 @@ void BM_GatherScatter(benchmark::State& state) {
       const auto refs = random_refs(n, refs_per_proc, 7 + p.rank());
       auto loc = core::localize(p, *d, refs);
       x.resize_ghost(loc.schedule.nghost);
+      // Steady-state executor idiom: one workspace reused across sweeps,
+      // so everything after the first sweep is allocation-free.
+      core::ExecutorWorkspace<f64> ws;
       for (int sweep = 0; sweep < 8; ++sweep) {
-        core::gather_ghosts<f64>(p, loc.schedule, x.local(), x.ghost());
-        std::vector<f64> acc(static_cast<std::size_t>(loc.schedule.nghost),
-                             0.5);
+        core::gather_ghosts<f64>(p, loc.schedule, x.local(), x.ghost(), ws);
+        const auto acc = ws.ghost_accumulator(loc.schedule, 0.5);
         core::scatter_reduce<f64>(p, loc.schedule, x.local(), acc,
-                                  core::ReduceOp::Add);
+                                  core::ReduceOp::Add, ws);
       }
     });
   }

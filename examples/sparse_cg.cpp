@@ -127,10 +127,13 @@ int main(int argc, char** argv) {
     const i64 nlocal = d->my_local_size();
 
     // SpMV through the reused schedule: ghost-gather x, then local rows.
+    // One workspace hoisted above the solver loop keeps every gather after
+    // the first allocation-free.
     std::vector<f64> ghost(static_cast<std::size_t>(loc.schedule.nghost));
+    core::ExecutorWorkspace<f64> ws;
     auto spmv = [&](const std::vector<f64>& x, std::vector<f64>& y) {
       core::gather_ghosts<f64>(p, loc.schedule, std::span<const f64>(x),
-                               ghost);
+                               ghost, ws);
       for (i64 r = 0; r < nlocal; ++r) {
         f64 acc = A.diag[static_cast<std::size_t>(r)] *
                   x[static_cast<std::size_t>(r)];

@@ -3,10 +3,20 @@
 // back to their owners after a reduction loop. All are collective and reuse
 // a CommSchedule built once by the inspector — the object whose reuse
 // Section 3 of the paper is about.
+//
+// The executor runs every timestep while the inspector is amortized, so the
+// movers here are written to be allocation-free in steady state: each is one
+// fused pack → alltoallv_flat → contiguous-unpack pass over the schedule's
+// CSR arrays, staging through a reusable ExecutorWorkspace. The ghost buffer
+// layout (source rank ascending, request order within rank) is exactly the
+// flat exchange's receive layout, so a gather needs no unpack copy at all
+// and a scatter needs no pack copy.
 #pragma once
 
+#include <algorithm>
 #include <limits>
 #include <span>
+#include <vector>
 
 #include "core/schedule.hpp"
 #include "dist/darray.hpp"
@@ -41,80 +51,133 @@ constexpr T reduce_identity(ReduceOp op) {
   return T{};
 }
 
+/// Reusable staging memory for the schedule-driven movers. Buffers grow
+/// monotonically and are sized once from the schedule, so every call after
+/// the first performs zero heap allocations. Plans own one workspace per
+/// loop; the span-based compatibility overloads fall back to a private
+/// throwaway instance.
+template <typename T>
+class ExecutorWorkspace {
+ public:
+  /// Pack staging for a gather / unpack staging for a scatter: one flat
+  /// buffer of schedule.total_send() elements.
+  [[nodiscard]] std::span<T> staging(const CommSchedule& schedule) {
+    const auto need = static_cast<std::size_t>(schedule.total_send());
+    if (stage_.size() < need) stage_.resize(need);
+    return std::span<T>(stage_.data(), need);
+  }
+
+  /// Ghost accumulator scratch (size schedule.nghost), refilled with @p init
+  /// on every call; the fill touches memory but allocates nothing once the
+  /// buffer has grown to the schedule's size.
+  [[nodiscard]] std::span<T> ghost_accumulator(const CommSchedule& schedule,
+                                               T init) {
+    const auto need = static_cast<std::size_t>(schedule.nghost);
+    if (ghost_.size() < need) ghost_.resize(need);
+    const std::span<T> out(ghost_.data(), need);
+    std::fill(out.begin(), out.end(), init);
+    return out;
+  }
+
+ private:
+  std::vector<T> stage_;
+  std::vector<T> ghost_;
+};
+
+namespace detail {
+inline void check_schedule(const CommSchedule& schedule, i64 nlocal,
+                           i64 nghost, const char* who) {
+  CHAOS_CHECK(nlocal == schedule.nlocal_at_build,
+              std::string(who) + ": schedule is stale (local size changed)");
+  CHAOS_CHECK(nghost == schedule.nghost,
+              std::string(who) +
+                  ": ghost buffer size does not match schedule");
+#ifndef NDEBUG
+  CHAOS_CHECK(schedule.validate(),
+              std::string(who) + ": schedule failed consistency validation");
+#endif
+}
+}  // namespace detail
+
 /// Collective gather: fills @p ghost (size schedule.nghost) with copies of
 /// the off-process elements the inspector recorded, reading my owned
-/// elements from @p local for peers that requested them.
+/// elements from @p local for peers that requested them. Fused pack →
+/// exchange pass; the receive side lands directly in @p ghost (the ghost
+/// layout IS the exchange's receive layout), so there is no unpack loop.
+template <typename T>
+void gather_ghosts(rt::Process& p, const CommSchedule& schedule,
+                   std::span<const T> local, std::span<T> ghost,
+                   ExecutorWorkspace<T>& ws) {
+  detail::check_schedule(schedule, static_cast<i64>(local.size()),
+                         static_cast<i64>(ghost.size()), "gather");
+  const std::span<T> stage = ws.staging(schedule);
+  const i64* idx = schedule.send_indices.data();
+  const i64 packed = schedule.total_send();
+  for (i64 k = 0; k < packed; ++k) {
+    stage[static_cast<std::size_t>(k)] =
+        local[static_cast<std::size_t>(idx[k])];
+  }
+  rt::alltoallv_flat<T>(p, stage, schedule.send_offsets, ghost,
+                        schedule.recv_offsets);
+  p.clock().charge_ops(packed + schedule.nghost, p.params().mem_us_per_word);
+}
+
+/// Span-based compatibility overload: stages through a private workspace
+/// (one allocation per call — use the workspace overload in hot loops).
 template <typename T>
 void gather_ghosts(rt::Process& p, const CommSchedule& schedule,
                    std::span<const T> local, std::span<T> ghost) {
-  CHAOS_CHECK(static_cast<i64>(local.size()) == schedule.nlocal_at_build,
-              "gather: schedule is stale (local size changed)");
-  CHAOS_CHECK(static_cast<i64>(ghost.size()) == schedule.nghost,
-              "gather: ghost buffer size does not match schedule");
-  std::vector<std::vector<T>> outgoing(schedule.send_local.size());
-  i64 packed = 0;
-  for (std::size_t d = 0; d < schedule.send_local.size(); ++d) {
-    outgoing[d].reserve(schedule.send_local[d].size());
-    for (i64 l : schedule.send_local[d]) {
-      outgoing[d].push_back(local[static_cast<std::size_t>(l)]);
-      ++packed;
-    }
-  }
-  auto incoming = rt::alltoallv(p, outgoing);
-  i64 slot = 0;
-  for (std::size_t s = 0; s < incoming.size(); ++s) {
-    CHAOS_CHECK(static_cast<i64>(incoming[s].size()) ==
-                    schedule.recv_counts[s],
-                "gather: peer sent unexpected element count");
-    for (const T& v : incoming[s]) {
-      ghost[static_cast<std::size_t>(slot++)] = v;
-    }
-  }
-  p.clock().charge_ops(packed + slot, p.params().mem_us_per_word);
+  ExecutorWorkspace<T> ws;
+  gather_ghosts<T>(p, schedule, local, ghost, ws);
 }
 
-/// Convenience overload operating on a DistributedArray (resizes its ghost
+/// Convenience overloads operating on a DistributedArray (resize its ghost
 /// region to fit the schedule).
 template <typename T>
 void gather_ghosts(rt::Process& p, const CommSchedule& schedule,
-                   dist::DistributedArray<T>& a) {
+                   dist::DistributedArray<T>& a, ExecutorWorkspace<T>& ws) {
   if (a.nghost() != schedule.nghost) a.resize_ghost(schedule.nghost);
-  gather_ghosts<T>(p, schedule, a.local(), a.ghost());
+  gather_ghosts<T>(p, schedule, a.local(), a.ghost(), ws);
+}
+
+template <typename T>
+void gather_ghosts(rt::Process& p, const CommSchedule& schedule,
+                   dist::DistributedArray<T>& a) {
+  ExecutorWorkspace<T> ws;
+  gather_ghosts<T>(p, schedule, a, ws);
 }
 
 /// Collective scatter-reduce: sends each ghost slot's accumulated value back
 /// to the owner, which folds it into its local element with @p op. Used
-/// after reduction loops that wrote into ghost accumulators.
+/// after reduction loops that wrote into ghost accumulators. Reverse of
+/// gather: the ghost region is already sliced by source rank, so it is the
+/// exchange's flat send buffer verbatim; the unpack folds straight from the
+/// staging buffer through the flat send-index array.
+template <typename T>
+void scatter_reduce(rt::Process& p, const CommSchedule& schedule,
+                    std::span<T> local, std::span<const T> ghost, ReduceOp op,
+                    ExecutorWorkspace<T>& ws) {
+  detail::check_schedule(schedule, static_cast<i64>(local.size()),
+                         static_cast<i64>(ghost.size()), "scatter");
+  const std::span<T> stage = ws.staging(schedule);
+  rt::alltoallv_flat<T>(p, ghost, schedule.recv_offsets, stage,
+                        schedule.send_offsets);
+  const i64* idx = schedule.send_indices.data();
+  const i64 applied = schedule.total_send();
+  for (i64 k = 0; k < applied; ++k) {
+    T& dst = local[static_cast<std::size_t>(idx[k])];
+    dst = apply_reduce(op, dst, stage[static_cast<std::size_t>(k)]);
+  }
+  p.clock().charge_ops(schedule.nghost + applied, p.params().mem_us_per_word);
+  p.clock().charge_ops(applied, p.params().flop_us);
+}
+
 template <typename T>
 void scatter_reduce(rt::Process& p, const CommSchedule& schedule,
                     std::span<T> local, std::span<const T> ghost,
                     ReduceOp op) {
-  CHAOS_CHECK(static_cast<i64>(local.size()) == schedule.nlocal_at_build,
-              "scatter: schedule is stale (local size changed)");
-  CHAOS_CHECK(static_cast<i64>(ghost.size()) == schedule.nghost,
-              "scatter: ghost buffer size does not match schedule");
-  // Reverse of gather: my ghost region, sliced by source rank, goes back.
-  std::vector<std::vector<T>> outgoing(schedule.recv_counts.size());
-  i64 slot = 0;
-  for (std::size_t s = 0; s < schedule.recv_counts.size(); ++s) {
-    outgoing[s].reserve(static_cast<std::size_t>(schedule.recv_counts[s]));
-    for (i64 k = 0; k < schedule.recv_counts[s]; ++k) {
-      outgoing[s].push_back(ghost[static_cast<std::size_t>(slot++)]);
-    }
-  }
-  auto incoming = rt::alltoallv(p, outgoing);
-  i64 applied = 0;
-  for (std::size_t d = 0; d < schedule.send_local.size(); ++d) {
-    CHAOS_CHECK(incoming[d].size() == schedule.send_local[d].size(),
-                "scatter: peer sent unexpected element count");
-    for (std::size_t k = 0; k < incoming[d].size(); ++k) {
-      T& dst = local[static_cast<std::size_t>(schedule.send_local[d][k])];
-      dst = apply_reduce(op, dst, incoming[d][k]);
-      ++applied;
-    }
-  }
-  p.clock().charge_ops(slot + applied, p.params().mem_us_per_word);
-  p.clock().charge_ops(applied, p.params().flop_us);
+  ExecutorWorkspace<T> ws;
+  scatter_reduce<T>(p, schedule, local, ghost, op, ws);
 }
 
 template <typename T>
@@ -128,8 +191,16 @@ void scatter_reduce(rt::Process& p, const CommSchedule& schedule,
 /// L1). The caller guarantees no two iterations write the same element.
 template <typename T>
 void scatter_assign(rt::Process& p, const CommSchedule& schedule,
+                    std::span<T> local, std::span<const T> ghost,
+                    ExecutorWorkspace<T>& ws) {
+  scatter_reduce<T>(p, schedule, local, ghost, ReduceOp::Replace, ws);
+}
+
+template <typename T>
+void scatter_assign(rt::Process& p, const CommSchedule& schedule,
                     std::span<T> local, std::span<const T> ghost) {
-  scatter_reduce<T>(p, schedule, local, ghost, ReduceOp::Replace);
+  ExecutorWorkspace<T> ws;
+  scatter_assign<T>(p, schedule, local, ghost, ws);
 }
 
 }  // namespace chaos::core

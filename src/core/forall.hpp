@@ -32,6 +32,10 @@ struct EdgeLoopPlan {
   /// Localized references of end1/end2 against the data distribution, with
   /// the shared communication schedule.
   LocalizedMany loc;
+  /// Executor staging, sized once from the schedule on the first sweep so
+  /// repeated execute() calls through this plan allocate nothing. Mutable:
+  /// scratch identity, not part of the plan's logical state.
+  mutable ExecutorWorkspace<f64> ws;
 
   [[nodiscard]] i64 my_iterations() const {
     return static_cast<i64>(end1.size());
@@ -58,9 +62,9 @@ class EdgeReductionLoop {
                       dist::DistributedArray<f64>& x,
                       dist::DistributedArray<f64>& y, F&& f, G&& g,
                       f64 flops_per_edge = 30.0) {
-    gather_ghosts(p, plan.loc.schedule, x);
-    std::vector<f64> y_ghost_acc(
-        static_cast<std::size_t>(plan.loc.schedule.nghost), 0.0);
+    gather_ghosts(p, plan.loc.schedule, x, plan.ws);
+    const std::span<f64> y_ghost_acc =
+        plan.ws.ghost_accumulator(plan.loc.schedule, 0.0);
     const i64 nlocal = plan.loc.schedule.nlocal_at_build;
     auto deposit = [&](i64 ref, f64 v) {
       if (ref < nlocal) {
@@ -81,7 +85,7 @@ class EdgeReductionLoop {
     p.clock().charge_ops(n, p.params().flop_us * flops_per_edge +
                                 p.params().mem_us_per_word * 4);
     scatter_reduce<f64>(p, plan.loc.schedule, y.local(), y_ghost_acc,
-                        ReduceOp::Add);
+                        ReduceOp::Add, plan.ws);
   }
 };
 
@@ -91,6 +95,10 @@ struct SingleStatementPlan {
   std::vector<i64> ia, ib, ic;  ///< remapped indirection values
   Localized lhs;                ///< ia against the y distribution
   LocalizedMany rhs;            ///< ib, ic against the x distribution
+  /// Shared executor staging for both schedules (staging() re-slices per
+  /// schedule; buffers grow to the larger one once), so repeated execute()
+  /// calls allocate nothing.
+  mutable ExecutorWorkspace<f64> ws;
 
   [[nodiscard]] i64 my_iterations() const {
     return static_cast<i64>(ia.size());
@@ -113,9 +121,9 @@ class SingleStatementLoop {
                       dist::DistributedArray<f64>& y,
                       dist::DistributedArray<f64>& x, F&& f,
                       f64 flops_per_iter = 10.0) {
-    gather_ghosts(p, plan.rhs.schedule, x);
-    std::vector<f64> y_ghost(
-        static_cast<std::size_t>(plan.lhs.schedule.nghost), 0.0);
+    gather_ghosts(p, plan.rhs.schedule, x, plan.ws);
+    const std::span<f64> y_ghost =
+        plan.ws.ghost_accumulator(plan.lhs.schedule, 0.0);
     const i64 y_nlocal = plan.lhs.schedule.nlocal_at_build;
     const i64 n = plan.my_iterations();
     for (i64 i = 0; i < n; ++i) {
@@ -130,7 +138,7 @@ class SingleStatementLoop {
     }
     p.clock().charge_ops(n, p.params().flop_us * flops_per_iter +
                                 p.params().mem_us_per_word * 3);
-    scatter_assign<f64>(p, plan.lhs.schedule, y.local(), y_ghost);
+    scatter_assign<f64>(p, plan.lhs.schedule, y.local(), y_ghost, plan.ws);
   }
 };
 

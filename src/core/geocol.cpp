@@ -82,29 +82,60 @@ std::shared_ptr<const GeoCol> GeoColBuilder::build() {
     }
     const auto owners = g_->vdist_->locate(p, endpoints);
 
-    std::vector<std::vector<HalfEdge>> outgoing(
-        static_cast<std::size_t>(p.nprocs()));
+    // Route each half-edge to its endpoint's owner in the flat CSR shape
+    // the executor schedules use: count per destination, prefix, fill one
+    // flat buffer, then a counts exchange plus one flat payload exchange —
+    // exact allocations, no per-destination heap blocks.
+    const auto np = static_cast<std::size_t>(p.nprocs());
+    std::vector<i64> send_counts(np, 0);
+    for (i64 e = 0; e < local_edges; ++e) {
+      if (edge_u_[static_cast<std::size_t>(e)] ==
+          edge_v_[static_cast<std::size_t>(e)]) {
+        continue;  // drop self-loops
+      }
+      ++send_counts[static_cast<std::size_t>(
+          owners[static_cast<std::size_t>(2 * e)].proc)];
+      ++send_counts[static_cast<std::size_t>(
+          owners[static_cast<std::size_t>(2 * e + 1)].proc)];
+    }
+    std::vector<i64> send_offsets(np + 1, 0);
+    for (std::size_t r = 0; r < np; ++r) {
+      send_offsets[r + 1] = send_offsets[r] + send_counts[r];
+    }
+    std::vector<HalfEdge> send_buf(
+        static_cast<std::size_t>(send_offsets[np]));
+    std::vector<i64> cursor(send_offsets.begin(), send_offsets.end() - 1);
     for (i64 e = 0; e < local_edges; ++e) {
       const i64 u = edge_u_[static_cast<std::size_t>(e)];
       const i64 v = edge_v_[static_cast<std::size_t>(e)];
-      if (u == v) continue;  // drop self-loops
-      const auto ou = static_cast<std::size_t>(owners[static_cast<std::size_t>(2 * e)].proc);
-      const auto ov = static_cast<std::size_t>(owners[static_cast<std::size_t>(2 * e + 1)].proc);
-      outgoing[ou].push_back(HalfEdge{u, v});
-      outgoing[ov].push_back(HalfEdge{v, u});
+      if (u == v) continue;
+      const auto ou = static_cast<std::size_t>(
+          owners[static_cast<std::size_t>(2 * e)].proc);
+      const auto ov = static_cast<std::size_t>(
+          owners[static_cast<std::size_t>(2 * e + 1)].proc);
+      send_buf[static_cast<std::size_t>(cursor[ou]++)] = HalfEdge{u, v};
+      send_buf[static_cast<std::size_t>(cursor[ov]++)] = HalfEdge{v, u};
     }
-    auto incoming = rt::alltoallv(p, outgoing);
+    std::vector<i64> recv_counts(np);
+    rt::alltoall<i64>(p, send_counts, recv_counts);
+    std::vector<i64> recv_offsets(np + 1, 0);
+    for (std::size_t r = 0; r < np; ++r) {
+      recv_offsets[r + 1] = recv_offsets[r] + recv_counts[r];
+    }
+    std::vector<HalfEdge> incoming(
+        static_cast<std::size_t>(recv_offsets[np]));
+    rt::alltoallv_flat<HalfEdge>(p, send_buf, send_offsets, incoming,
+                                 recv_offsets);
 
     // Build per-vertex neighbor lists (dedup via sort+unique).
     const i64 nlocal = g_->vdist_->my_local_size();
     std::vector<std::pair<i64, i64>> pairs;  // (local vertex, global nbr)
-    for (const auto& block : incoming) {
-      for (const auto& he : block) {
-        // he.u is owned here; find its local index. For regular vdist this
-        // is closed form; irregular vertex distributions would need a
-        // locate, which the paper's pipeline never requires at this point.
-        pairs.emplace_back(g_->vdist_->local_index_of(he.u), he.v);
-      }
+    pairs.reserve(incoming.size());
+    for (const auto& he : incoming) {
+      // he.u is owned here; find its local index. For regular vdist this
+      // is closed form; irregular vertex distributions would need a
+      // locate, which the paper's pipeline never requires at this point.
+      pairs.emplace_back(g_->vdist_->local_index_of(he.u), he.v);
     }
     std::sort(pairs.begin(), pairs.end());
     pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());

@@ -74,36 +74,57 @@ LocalizedMany localize_impl(rt::Process& p, const dist::Distribution& d,
                            2 * out.off_process_refs,
                        p.params().mem_us_per_word);
 
-  // Phase 3: ghost slots are per-owner contiguous, owners ascending.
-  std::vector<i64> base(static_cast<std::size_t>(p.nprocs()) + 1, 0);
+  // Phase 3: ghost slots are per-owner contiguous, owners ascending — the
+  // prefix over my request counts IS the schedule's receive-side CSR.
+  std::vector<i64> recv_offsets(static_cast<std::size_t>(p.nprocs()) + 1, 0);
   for (int r = 0; r < p.nprocs(); ++r) {
-    base[static_cast<std::size_t>(r) + 1] =
-        base[static_cast<std::size_t>(r)] +
+    recv_offsets[static_cast<std::size_t>(r) + 1] =
+        recv_offsets[static_cast<std::size_t>(r)] +
         static_cast<i64>(requests[static_cast<std::size_t>(r)].size());
   }
   for (const auto& pe : pending) {
     out.refs[pe.batch][pe.pos] =
-        nlocal + base[static_cast<std::size_t>(pe.owner)] + pe.ordinal;
+        nlocal + recv_offsets[static_cast<std::size_t>(pe.owner)] + pe.ordinal;
   }
 
-  // Phase 4: exchange request lists; what arrives is my send side.
-  auto incoming = rt::alltoallv(p, requests);
-
-  out.schedule.send_local = std::move(incoming);
-  out.schedule.recv_counts.resize(static_cast<std::size_t>(p.nprocs()));
+  // Phase 4: exchange request lists; what arrives is my send side, built
+  // directly in CSR form with exact pre-sized allocations. First a counts
+  // exchange fixes the send-side prefix, then one flat exchange fills the
+  // flat index array — no nested vectors anywhere.
+  std::vector<i64> req_counts(static_cast<std::size_t>(p.nprocs()));
   for (int r = 0; r < p.nprocs(); ++r) {
-    out.schedule.recv_counts[static_cast<std::size_t>(r)] =
-        static_cast<i64>(requests[static_cast<std::size_t>(r)].size());
+    req_counts[static_cast<std::size_t>(r)] =
+        recv_offsets[static_cast<std::size_t>(r) + 1] -
+        recv_offsets[static_cast<std::size_t>(r)];
   }
-  out.schedule.nghost = base[static_cast<std::size_t>(p.nprocs())];
-  out.schedule.nlocal_at_build = nlocal;
+  std::vector<i64> send_counts(static_cast<std::size_t>(p.nprocs()));
+  rt::alltoall<i64>(p, req_counts, send_counts);
 
-  for (const auto& s : out.schedule.send_local) {
-    for (i64 l : s) {
-      CHAOS_CHECK(l >= 0 && l < nlocal,
-                  "inspector: peer requested an element I do not own");
-    }
+  std::vector<i64> send_offsets(static_cast<std::size_t>(p.nprocs()) + 1, 0);
+  for (int r = 0; r < p.nprocs(); ++r) {
+    send_offsets[static_cast<std::size_t>(r) + 1] =
+        send_offsets[static_cast<std::size_t>(r)] +
+        send_counts[static_cast<std::size_t>(r)];
   }
+
+  const i64 total_ghost = recv_offsets[static_cast<std::size_t>(p.nprocs())];
+  std::vector<i64> flat_requests;
+  flat_requests.reserve(static_cast<std::size_t>(total_ghost));
+  for (const auto& r : requests) {
+    flat_requests.insert(flat_requests.end(), r.begin(), r.end());
+  }
+  std::vector<i64> send_indices(static_cast<std::size_t>(
+      send_offsets[static_cast<std::size_t>(p.nprocs())]));
+  rt::alltoallv_flat<i64>(p, flat_requests, recv_offsets, send_indices,
+                          send_offsets);
+
+  out.schedule.send_indices = std::move(send_indices);
+  out.schedule.send_offsets = std::move(send_offsets);
+  out.schedule.recv_offsets = std::move(recv_offsets);
+  out.schedule.nghost = total_ghost;
+  out.schedule.nlocal_at_build = nlocal;
+  CHAOS_CHECK(out.schedule.validate(),
+              "inspector: peer requested an element I do not own");
   return out;
 }
 

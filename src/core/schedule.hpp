@@ -4,9 +4,14 @@
 // from each process (receive side). The ghost buffer is laid out by source
 // rank ascending, within rank in request order — so the executor's gather is
 // a pack / all-to-all / contiguous-unpack with no per-element addressing.
+//
+// Layout: both sides are CSR. The send side is one flat index array sliced
+// by a P+1 prefix (no per-destination heap blocks, so the executor's pack
+// loop streams through one contiguous buffer), and the receive side keeps
+// its prefix precomputed, making recv_offset() O(1) in the hot path.
 #pragma once
 
-#include <numeric>
+#include <span>
 #include <vector>
 
 #include "rt/types.hpp"
@@ -14,43 +19,87 @@
 namespace chaos::core {
 
 struct CommSchedule {
-  /// send_local[d] = my local element indices process d asked for.
-  std::vector<std::vector<i64>> send_local;
-  /// recv_counts[s] = number of ghost values process s will send me. Ghost
-  /// slot ranges per source are contiguous: source s fills
-  /// [recv_offset(s), recv_offset(s)+recv_counts[s]).
-  std::vector<i64> recv_counts;
-  /// Total ghost slots (== sum of recv_counts).
+  /// Flat CSR values: my local element indices peers asked for, grouped by
+  /// destination rank ascending. Segment [send_offsets[d], send_offsets[d+1])
+  /// is packed for rank d, in the order rank d requested.
+  std::vector<i64> send_indices;
+  /// P+1 prefix slicing send_indices by destination rank.
+  std::vector<i64> send_offsets;
+  /// P+1 prefix over ghost slots by source rank: source s fills ghost slots
+  /// [recv_offsets[s], recv_offsets[s+1]).
+  std::vector<i64> recv_offsets;
+  /// Total ghost slots (== recv_offsets.back()).
   i64 nghost = 0;
   /// Local segment size when the schedule was built (staleness guard).
   i64 nlocal_at_build = 0;
 
+  [[nodiscard]] int nprocs() const {
+    return static_cast<int>(send_offsets.empty() ? 0 : send_offsets.size() - 1);
+  }
+
+  /// O(1): first ghost slot filled by @p src (was an O(P) prefix sum per
+  /// call in the nested-vector layout).
   [[nodiscard]] i64 recv_offset(int src) const {
-    i64 off = 0;
-    for (int s = 0; s < src; ++s) off += recv_counts[static_cast<std::size_t>(s)];
-    return off;
+    return recv_offsets[static_cast<std::size_t>(src)];
+  }
+  [[nodiscard]] i64 recv_count(int src) const {
+    return recv_offsets[static_cast<std::size_t>(src) + 1] -
+           recv_offsets[static_cast<std::size_t>(src)];
+  }
+  [[nodiscard]] i64 send_count(int dest) const {
+    return send_offsets[static_cast<std::size_t>(dest) + 1] -
+           send_offsets[static_cast<std::size_t>(dest)];
+  }
+  /// The local indices packed for @p dest, as a view into the flat array.
+  [[nodiscard]] std::span<const i64> send_to(int dest) const {
+    return std::span<const i64>(send_indices)
+        .subspan(static_cast<std::size_t>(
+                     send_offsets[static_cast<std::size_t>(dest)]),
+                 static_cast<std::size_t>(send_count(dest)));
+  }
+  /// Total elements this process packs per gather (all destinations).
+  [[nodiscard]] i64 total_send() const {
+    return send_offsets.empty() ? 0 : send_offsets[send_offsets.size() - 1];
   }
 
   /// Number of point-to-point messages a gather through this schedule costs
   /// this process (sends plus receives, self excluded by construction).
+  /// One O(P) scan of the cached prefixes.
   [[nodiscard]] i64 messages(int my_rank) const {
     i64 m = 0;
-    for (std::size_t d = 0; d < send_local.size(); ++d) {
-      if (static_cast<int>(d) != my_rank && !send_local[d].empty()) ++m;
-    }
-    for (std::size_t s = 0; s < recv_counts.size(); ++s) {
-      if (static_cast<int>(s) != my_rank && recv_counts[s] > 0) ++m;
+    for (int r = 0; r < nprocs(); ++r) {
+      if (r == my_rank) continue;
+      if (send_count(r) > 0) ++m;
+      if (recv_count(r) > 0) ++m;
     }
     return m;
   }
 
   /// Words moved off-process by one gather (send direction).
   [[nodiscard]] i64 send_volume(int my_rank) const {
-    i64 v = 0;
-    for (std::size_t d = 0; d < send_local.size(); ++d) {
-      if (static_cast<int>(d) != my_rank) v += static_cast<i64>(send_local[d].size());
-    }
+    i64 v = total_send();
+    if (my_rank >= 0 && my_rank < nprocs()) v -= send_count(my_rank);
     return v;
+  }
+
+  /// Full structural consistency check: monotone prefixes, cached nghost
+  /// matching the receive prefix, and every send index inside the local
+  /// segment. O(P + total_send); executors run it in debug builds only —
+  /// the hot path stays check-free in Release.
+  [[nodiscard]] bool validate() const {
+    if (send_offsets.size() != recv_offsets.size()) return false;
+    if (send_offsets.empty()) return nghost == 0 && send_indices.empty();
+    if (send_offsets[0] != 0 || recv_offsets[0] != 0) return false;
+    for (std::size_t r = 1; r < send_offsets.size(); ++r) {
+      if (send_offsets[r] < send_offsets[r - 1]) return false;
+      if (recv_offsets[r] < recv_offsets[r - 1]) return false;
+    }
+    if (nghost != recv_offsets[recv_offsets.size() - 1]) return false;
+    if (static_cast<i64>(send_indices.size()) != total_send()) return false;
+    for (i64 l : send_indices) {
+      if (l < 0 || l >= nlocal_at_build) return false;
+    }
+    return true;
   }
 };
 

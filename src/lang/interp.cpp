@@ -113,6 +113,12 @@ struct LoopPlan {
   /// Ghost scratch per read array (index-aligned with reads_*).
   std::vector<std::vector<f64>> ghost_data;
   std::vector<std::vector<f64>> ghost_direct;
+  /// Executor staging shared by every gather/scatter through this plan
+  /// (staging() re-slices per schedule), plus reusable accumulator scratch —
+  /// all sized on the first sweep so later sweeps allocate nothing.
+  core::ExecutorWorkspace<f64> ws;
+  std::vector<std::vector<f64>> acc_scratch;     ///< parallel to accs
+  std::vector<std::vector<f64>> assign_scratch;  ///< parallel to assign_loc
 
   i64 expr_flops_per_iter = 0;
   i64 mem_refs_per_iter = 0;
@@ -674,18 +680,21 @@ void execute_loop(rt::Process& p, const Forall& f, LoopPlan& plan,
     plan.ghost_data[k].resize(
         static_cast<std::size_t>(plan.data_loc.schedule.nghost));
     core::gather_ghosts<f64>(p, plan.data_loc.schedule, a->real->local(),
-                             plan.ghost_data[k]);
+                             plan.ghost_data[k], plan.ws);
   }
   for (std::size_t k = 0; k < plan.reads_direct.size(); ++k) {
     auto* a = const_cast<ArrayInfo*>(plan.reads_direct[k]);
     plan.ghost_direct[k].resize(
         static_cast<std::size_t>(plan.direct_loc.schedule.nghost));
     core::gather_ghosts<f64>(p, plan.direct_loc.schedule, a->real->local(),
-                             plan.ghost_direct[k]);
+                             plan.ghost_direct[k], plan.ws);
   }
 
   // Reduction accumulators: [0, nlocal + nghost) of the group's schedule.
-  std::vector<std::vector<f64>> acc(plan.accs.size());
+  // Plan-owned scratch: assign() keeps capacity, so sweeps after the first
+  // reuse the same heap blocks.
+  plan.acc_scratch.resize(plan.accs.size());
+  std::vector<std::vector<f64>>& acc = plan.acc_scratch;
   for (std::size_t k = 0; k < plan.accs.size(); ++k) {
     const auto& info = plan.accs[k];
     const auto& sched =
@@ -695,7 +704,8 @@ void execute_loop(rt::Process& p, const Forall& f, LoopPlan& plan,
         core::reduce_identity<f64>(info.op));
   }
   // Assign staging: ghost region of each private schedule.
-  std::vector<std::vector<f64>> assign_ghost(plan.assign_loc.size());
+  plan.assign_scratch.resize(plan.assign_loc.size());
+  std::vector<std::vector<f64>>& assign_ghost = plan.assign_scratch;
   for (std::size_t k = 0; k < plan.assign_loc.size(); ++k) {
     assign_ghost[k].assign(
         static_cast<std::size_t>(plan.assign_loc[k].schedule.nghost), 0.0);
@@ -797,7 +807,7 @@ void execute_loop(rt::Process& p, const Forall& f, LoopPlan& plan,
         p, sched, local,
         std::span<const f64>(acc[k]).subspan(
             static_cast<std::size_t>(sched.nlocal_at_build)),
-        info.op);
+        info.op, plan.ws);
   }
   for (std::size_t k = 0; k < plan.assign_loc.size(); ++k) {
     ArrayInfo* target = nullptr;
@@ -809,7 +819,8 @@ void execute_loop(rt::Process& p, const Forall& f, LoopPlan& plan,
     }
     CHAOS_CHECK(target != nullptr, "orphan assign schedule");
     core::scatter_assign<f64>(p, plan.assign_loc[k].schedule,
-                              target->real->local(), assign_ghost[k]);
+                              target->real->local(), assign_ghost[k],
+                              plan.ws);
   }
 
   // The loop modified its targets: record it (once per written array; this

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "rt/machine.hpp"
@@ -24,8 +26,7 @@ inline void clock_sync_max(Process& p, f64 extra_us) {
   Machine& m = p.machine();
   m.clock_put(p.rank(), p.clock().now_us());
   p.barrier_sync_only();
-  f64 max_us = 0.0;
-  for (int r = 0; r < p.nprocs(); ++r) max_us = std::max(max_us, m.clock_get(r));
+  const f64 max_us = m.clock_slot_max();
   p.barrier_sync_only();
   p.clock().advance_to(max_us);
   p.clock().charge(extra_us);
@@ -214,6 +215,7 @@ std::vector<std::vector<T>> alltoallv(Process& p,
   // BSP superstep charge: equalize, then pay per nonempty message each way.
   detail::clock_sync_max(p, 0.0);
   const CostParams& c = p.params();
+  i64 off_process_bytes = 0;
   for (int d = 0; d < p.nprocs(); ++d) {
     if (d == p.rank()) continue;
     const i64 bytes =
@@ -221,6 +223,7 @@ std::vector<std::vector<T>> alltoallv(Process& p,
     if (bytes > 0 || !send[static_cast<std::size_t>(d)].empty()) {
       p.clock().charge(c.send_us(bytes));
       p.stats().note_send(bytes);
+      off_process_bytes += bytes;
     }
   }
   for (int s = 0; s < p.nprocs(); ++s) {
@@ -232,7 +235,118 @@ std::vector<std::vector<T>> alltoallv(Process& p,
       p.stats().note_recv(bytes);
     }
   }
+  p.stats().note_alltoallv(off_process_bytes);
   return out;
+}
+
+/// Fixed-size personalized exchange: @p send holds exactly one element per
+/// destination rank, @p recv receives one element per source rank. Allocates
+/// nothing — both buffers are caller-provided. Used to exchange CSR segment
+/// counts before an alltoallv_flat.
+template <typename T>
+void alltoall(Process& p, std::span<const T> send, std::span<T> recv) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CHAOS_CHECK(static_cast<int>(send.size()) == p.nprocs() &&
+                  static_cast<int>(recv.size()) == p.nprocs(),
+              "alltoall: need exactly one slot per rank on both sides");
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  m.bb_put(p.rank(), send.data());
+  p.barrier_sync_only();
+  for (int s = 0; s < p.nprocs(); ++s) {
+    recv[static_cast<std::size_t>(s)] =
+        static_cast<const T*>(m.bb_get(s))[p.rank()];
+  }
+  p.barrier_sync_only();
+  detail::clock_sync_max(
+      p, p.params().small_collective_us(
+             p.nprocs(),
+             static_cast<i64>(p.nprocs()) * static_cast<i64>(sizeof(T))));
+  // Traffic accounting matches alltoallv: one message of one T each way per
+  // off-process peer, so the counts round a flat exchange needs stays
+  // visible to MessageStats.
+  for (int r = 0; r < p.nprocs(); ++r) {
+    if (r == p.rank()) continue;
+    p.stats().note_send(static_cast<i64>(sizeof(T)));
+    p.stats().note_recv(static_cast<i64>(sizeof(T)));
+  }
+}
+
+namespace detail {
+/// Blackboard view one rank publishes during an alltoallv_flat: its whole
+/// flat send buffer plus the P+1 prefix that slices it by destination.
+template <typename T>
+struct FlatSendView {
+  const T* data;
+  const i64* offsets;
+};
+}  // namespace detail
+
+/// Flat personalized all-to-all over CSR-sliced buffers: the segment
+/// send[send_offsets[d], send_offsets[d+1]) goes to rank d, and the segment
+/// from source s lands at recv[recv_offsets[s], recv_offsets[s+1]). Both
+/// prefix arrays have nprocs()+1 entries; peers must agree pairwise on
+/// segment lengths (checked). The executor's hot path: unlike alltoallv this
+/// performs ZERO heap allocations — pack buffers, receive buffers, and both
+/// prefixes are caller-owned, so a schedule-driven gather/scatter can run
+/// allocation-free every timestep.
+template <typename T>
+void alltoallv_flat(Process& p, std::span<const T> send,
+                    std::span<const i64> send_offsets, std::span<T> recv,
+                    std::span<const i64> recv_offsets) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CHAOS_CHECK(static_cast<int>(send_offsets.size()) == p.nprocs() + 1 &&
+                  static_cast<int>(recv_offsets.size()) == p.nprocs() + 1,
+              "alltoallv_flat: offset arrays must have nprocs+1 entries");
+  CHAOS_CHECK(static_cast<i64>(send.size()) >= send_offsets[send_offsets.size() - 1] &&
+                  static_cast<i64>(recv.size()) >= recv_offsets[recv_offsets.size() - 1],
+              "alltoallv_flat: buffer smaller than its offset prefix claims");
+  ++p.stats().collectives;
+  Machine& m = p.machine();
+  const detail::FlatSendView<T> view{send.data(), send_offsets.data()};
+  m.bb_put(p.rank(), &view);
+  p.barrier_sync_only();
+  const auto me = static_cast<std::size_t>(p.rank());
+  for (int s = 0; s < p.nprocs(); ++s) {
+    const auto& sv = *static_cast<const detail::FlatSendView<T>*>(m.bb_get(s));
+    const i64 lo = sv.offsets[me];
+    const i64 n = sv.offsets[me + 1] - lo;
+    CHAOS_CHECK(n == recv_offsets[static_cast<std::size_t>(s) + 1] -
+                         recv_offsets[static_cast<std::size_t>(s)],
+                "alltoallv_flat: peer segment length disagrees with my "
+                "receive prefix");
+    if (n > 0) {
+      std::memcpy(recv.data() + recv_offsets[static_cast<std::size_t>(s)],
+                  sv.data + lo, static_cast<std::size_t>(n) * sizeof(T));
+    }
+  }
+  p.barrier_sync_only();
+
+  detail::clock_sync_max(p, 0.0);
+  const CostParams& c = p.params();
+  i64 off_process_bytes = 0;
+  for (int d = 0; d < p.nprocs(); ++d) {
+    if (d == p.rank()) continue;
+    const i64 bytes = (send_offsets[static_cast<std::size_t>(d) + 1] -
+                       send_offsets[static_cast<std::size_t>(d)]) *
+                      static_cast<i64>(sizeof(T));
+    if (bytes > 0) {
+      p.clock().charge(c.send_us(bytes));
+      p.stats().note_send(bytes);
+      off_process_bytes += bytes;
+    }
+  }
+  for (int s = 0; s < p.nprocs(); ++s) {
+    if (s == p.rank()) continue;
+    const i64 bytes = (recv_offsets[static_cast<std::size_t>(s) + 1] -
+                       recv_offsets[static_cast<std::size_t>(s)]) *
+                      static_cast<i64>(sizeof(T));
+    if (bytes > 0) {
+      p.clock().charge(c.recv_us(bytes));
+      p.stats().note_recv(bytes);
+    }
+  }
+  p.stats().note_alltoallv(off_process_bytes);
 }
 
 /// Gather variable-length blocks to @p root (others receive an empty vector;

@@ -6,6 +6,7 @@
 // iPSC/860 hypercube (DESIGN.md §2).
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -63,6 +64,15 @@ class Machine {
   /// Per-rank double slot (used for virtual-clock max-synchronization).
   void clock_put(int rank, f64 v) { clock_slots_[rank] = v; }
   [[nodiscard]] f64 clock_get(int rank) const { return clock_slots_[rank]; }
+
+  /// Max over all published clock slots. Collectives call this once per
+  /// superstep between barriers instead of each scanning the slots in their
+  /// own loop.
+  [[nodiscard]] f64 clock_slot_max() const {
+    f64 m = 0.0;
+    for (f64 v : clock_slots_) m = std::max(m, v);
+    return m;
+  }
 
   Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
 

@@ -16,6 +16,12 @@ struct MessageStats {
   i64 bytes_received = 0;
   i64 collectives = 0;
   i64 barriers = 0;
+  /// Personalized all-to-all exchanges (nested or flat) and the off-process
+  /// payload they carried in the send direction. Lets BENCH files report the
+  /// modeled volume of one executor sweep without re-deriving it from the
+  /// schedule.
+  i64 alltoallv_calls = 0;
+  i64 alltoallv_bytes = 0;
 
   void note_send(i64 bytes) {
     ++messages_sent;
@@ -25,6 +31,10 @@ struct MessageStats {
     ++messages_received;
     bytes_received += bytes;
   }
+  void note_alltoallv(i64 bytes_off_process) {
+    ++alltoallv_calls;
+    alltoallv_bytes += bytes_off_process;
+  }
 
   MessageStats& operator+=(const MessageStats& o) {
     messages_sent += o.messages_sent;
@@ -33,6 +43,8 @@ struct MessageStats {
     bytes_received += o.bytes_received;
     collectives += o.collectives;
     barriers += o.barriers;
+    alltoallv_calls += o.alltoallv_calls;
+    alltoallv_bytes += o.alltoallv_bytes;
     return *this;
   }
 };

@@ -91,20 +91,78 @@ MdSystem make_water_box(i64 molecules_per_side, f64 cutoff, u64 seed) {
     if (d < -0.5 * s.box) d += s.box;
     return d;
   };
-  for (i64 a = 0; a < s.natoms; ++a) {
-    for (i64 b = a + 1; b < s.natoms; ++b) {
-      if (a / 3 == b / 3) continue;
-      const f64 dx = min_image(s.x[static_cast<std::size_t>(a)] -
-                               s.x[static_cast<std::size_t>(b)]);
-      const f64 dy = min_image(s.y[static_cast<std::size_t>(a)] -
-                               s.y[static_cast<std::size_t>(b)]);
-      const f64 dz = min_image(s.z[static_cast<std::size_t>(a)] -
-                               s.z[static_cast<std::size_t>(b)]);
-      if (dx * dx + dy * dy + dz * dz < rc2) {
-        s.pair1.push_back(a);
-        s.pair2.push_back(b);
+  auto near = [&](i64 a, i64 b) {
+    if (a / 3 == b / 3) return false;
+    const f64 dx = min_image(s.x[static_cast<std::size_t>(a)] -
+                             s.x[static_cast<std::size_t>(b)]);
+    const f64 dy = min_image(s.y[static_cast<std::size_t>(a)] -
+                             s.y[static_cast<std::size_t>(b)]);
+    const f64 dz = min_image(s.z[static_cast<std::size_t>(a)] -
+                             s.z[static_cast<std::size_t>(b)]);
+    return dx * dx + dy * dy + dz * dz < rc2;
+  };
+
+  // Periodic cell list when at least 3 cells of width >= cutoff fit per
+  // side: O(natoms * local density) instead of the all-pairs O(natoms^2)
+  // scan. Candidate pairs are collected then sorted (a, b)-lexicographic —
+  // the exact emission order of the all-pairs loop — so the generated
+  // workload is bit-identical either way (the pair shuffle below draws from
+  // the same rng state).
+  const i64 cells_per_side = static_cast<i64>(s.box / cutoff);
+  std::vector<std::pair<i64, i64>> found;
+  if (cells_per_side >= 3) {
+    const f64 cell_width = s.box / static_cast<f64>(cells_per_side);
+    auto cell_of = [&](f64 v) {
+      return std::min(cells_per_side - 1,
+                      static_cast<i64>(v / cell_width));
+    };
+    const i64 ncells = cells_per_side * cells_per_side * cells_per_side;
+    std::vector<std::vector<i64>> bucket(static_cast<std::size_t>(ncells));
+    std::vector<i64> cell(static_cast<std::size_t>(s.natoms));
+    for (i64 a = 0; a < s.natoms; ++a) {
+      const i64 c = (cell_of(s.z[static_cast<std::size_t>(a)]) *
+                         cells_per_side +
+                     cell_of(s.y[static_cast<std::size_t>(a)])) *
+                        cells_per_side +
+                    cell_of(s.x[static_cast<std::size_t>(a)]);
+      cell[static_cast<std::size_t>(a)] = c;
+      bucket[static_cast<std::size_t>(c)].push_back(a);
+    }
+    auto wrap_cell = [&](i64 c) {
+      return (c % cells_per_side + cells_per_side) % cells_per_side;
+    };
+    for (i64 a = 0; a < s.natoms; ++a) {
+      const i64 c = cell[static_cast<std::size_t>(a)];
+      const i64 cxa = c % cells_per_side;
+      const i64 cya = (c / cells_per_side) % cells_per_side;
+      const i64 cza = c / (cells_per_side * cells_per_side);
+      for (i64 dz = -1; dz <= 1; ++dz) {
+        for (i64 dy = -1; dy <= 1; ++dy) {
+          for (i64 dx = -1; dx <= 1; ++dx) {
+            const i64 nc = (wrap_cell(cza + dz) * cells_per_side +
+                            wrap_cell(cya + dy)) *
+                               cells_per_side +
+                           wrap_cell(cxa + dx);
+            for (i64 b : bucket[static_cast<std::size_t>(nc)]) {
+              if (b > a && near(a, b)) found.emplace_back(a, b);
+            }
+          }
+        }
       }
     }
+    std::sort(found.begin(), found.end());
+  } else {
+    for (i64 a = 0; a < s.natoms; ++a) {
+      for (i64 b = a + 1; b < s.natoms; ++b) {
+        if (near(a, b)) found.emplace_back(a, b);
+      }
+    }
+  }
+  s.pair1.reserve(found.size());
+  s.pair2.reserve(found.size());
+  for (const auto& [a, b] : found) {
+    s.pair1.push_back(a);
+    s.pair2.push_back(b);
   }
   s.npairs = static_cast<i64>(s.pair1.size());
 

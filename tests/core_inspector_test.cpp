@@ -114,9 +114,14 @@ TEST_P(LocalizeSweep, ScheduleAccountingIsConsistent) {
     const auto refs = make_refs(p.rank(), n, 2 * n, 17);
     auto loc = core::localize(p, *d, refs);
 
-    // nghost equals the sum of per-source recv counts.
+    // Full CSR structural validation, plus: nghost equals the sum of
+    // per-source recv counts and recv_offset is the cached prefix.
+    EXPECT_TRUE(loc.schedule.validate());
     i64 sum = 0;
-    for (i64 c : loc.schedule.recv_counts) sum += c;
+    for (int s = 0; s < p.nprocs(); ++s) {
+      EXPECT_EQ(loc.schedule.recv_offset(s), sum);
+      sum += loc.schedule.recv_count(s);
+    }
     EXPECT_EQ(sum, loc.schedule.nghost);
     EXPECT_EQ(loc.schedule.nlocal_at_build, d->my_local_size());
     // Ghost slots never exceed distinct off-process references.
@@ -130,8 +135,9 @@ TEST_P(LocalizeSweep, ScheduleAccountingIsConsistent) {
     // to rank d equals what rank d expects from me.
     std::vector<i64> my_send_counts(static_cast<std::size_t>(p.nprocs()));
     for (int r = 0; r < p.nprocs(); ++r) {
-      my_send_counts[static_cast<std::size_t>(r)] =
-          static_cast<i64>(loc.schedule.send_local[static_cast<std::size_t>(r)].size());
+      my_send_counts[static_cast<std::size_t>(r)] = loc.schedule.send_count(r);
+      EXPECT_EQ(loc.schedule.send_to(r).size(),
+                static_cast<std::size_t>(loc.schedule.send_count(r)));
     }
     auto send_matrix = rt::allgatherv<i64>(p, my_send_counts);
     for (int src = 0; src < p.nprocs(); ++src) {
@@ -139,8 +145,7 @@ TEST_P(LocalizeSweep, ScheduleAccountingIsConsistent) {
           send_matrix[static_cast<std::size_t>(src) *
                           static_cast<std::size_t>(p.nprocs()) +
                       static_cast<std::size_t>(p.rank())];
-      EXPECT_EQ(they_send_me,
-                loc.schedule.recv_counts[static_cast<std::size_t>(src)]);
+      EXPECT_EQ(they_send_me, loc.schedule.recv_count(src));
     }
   });
 }

@@ -131,6 +131,41 @@ TEST(Md, PairsRespectCutoffAndExcludeIntramolecular) {
   }
 }
 
+TEST(Md, CellListMatchesAllPairsReference) {
+  // molecules_per_side=6 with cutoff 6.0 gives floor(box/cutoff) = 3, so
+  // the generator takes the cell-list branch; rebuild the neighbor list
+  // with the plain all-pairs scan and require the same pair set.
+  const auto s = wl::make_water_box(6, 6.0);
+  ASSERT_GE(static_cast<i64>(s.box / s.cutoff), 3)
+      << "config no longer exercises the cell-list branch";
+  auto min_image = [&](f64 d) {
+    if (d > 0.5 * s.box) d -= s.box;
+    if (d < -0.5 * s.box) d += s.box;
+    return d;
+  };
+  std::vector<std::pair<i64, i64>> expect;
+  const f64 rc2 = s.cutoff * s.cutoff;
+  for (i64 a = 0; a < s.natoms; ++a) {
+    for (i64 b = a + 1; b < s.natoms; ++b) {
+      if (a / 3 == b / 3) continue;
+      const f64 dx = min_image(s.x[static_cast<std::size_t>(a)] -
+                               s.x[static_cast<std::size_t>(b)]);
+      const f64 dy = min_image(s.y[static_cast<std::size_t>(a)] -
+                               s.y[static_cast<std::size_t>(b)]);
+      const f64 dz = min_image(s.z[static_cast<std::size_t>(a)] -
+                               s.z[static_cast<std::size_t>(b)]);
+      if (dx * dx + dy * dy + dz * dz < rc2) expect.emplace_back(a, b);
+    }
+  }
+  std::vector<std::pair<i64, i64>> got;
+  for (i64 k = 0; k < s.npairs; ++k) {
+    got.emplace_back(s.pair1[static_cast<std::size_t>(k)],
+                     s.pair2[static_cast<std::size_t>(k)]);
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect);  // expect is emitted sorted already
+}
+
 TEST(Md, PairDensityIsLiquidLike) {
   const auto s = wl::make_water_box(6, 8.0);
   // Each atom should see dozens of neighbors within 8 A at water density.
