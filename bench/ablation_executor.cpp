@@ -156,7 +156,7 @@ ConfigResult run_config(const std::string& workload, const std::string& layout,
   r.sweeps = kSweeps;
   const bool csr = layout == "csr_ws";
 
-  rt::Machine machine(procs);
+  rt::Machine& machine = bench::pooled_machine(procs);
   machine.run([&](rt::Process& p) {
     auto d = dist::Distribution::block(p, nnodes);
     const std::vector<i64> refs = make_refs(p);

@@ -1,5 +1,7 @@
 #include "bench/common.hpp"
 
+#include <map>
+#include <memory>
 #include <mutex>
 
 namespace chaos::bench {
@@ -31,6 +33,13 @@ bool needs_link(const std::string& partitioner) {
 
 }  // namespace
 
+rt::Machine& pooled_machine(int procs) {
+  static std::map<int, std::unique_ptr<rt::Machine>> machines;
+  auto& slot = machines[procs];
+  if (!slot) slot = std::make_unique<rt::Machine>(procs);
+  return *slot;
+}
+
 Workload workload_mesh_10k() { return from_mesh(wl::mesh_10k(), "10K mesh"); }
 Workload workload_mesh_53k() { return from_mesh(wl::mesh_53k(), "53K mesh"); }
 Workload workload_mesh_tiny() { return from_mesh(wl::mesh_tiny(), "tiny mesh"); }
@@ -58,7 +67,7 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
   PhaseResult result;
   const auto wall_start = std::chrono::steady_clock::now();
 
-  rt::Machine machine(procs);
+  rt::Machine& machine = pooled_machine(procs);
   machine.run([&](rt::Process& p) {
     f64 t_graph = 0, t_part = 0, t_insp = 0, t_remap = 0, t_exec = 0;
 
@@ -229,7 +238,7 @@ PhaseResult run_compiler_pipeline(int procs, const Workload& w,
         1.0 + 1.0 / (1.0 + static_cast<f64>(g));
   }
 
-  rt::Machine machine(procs);
+  rt::Machine& machine = pooled_machine(procs);
   machine.run([&](rt::Process& p) {
     lang::Instance inst(program);
     inst.set_param("NNODE", w.nnodes);

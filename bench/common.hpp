@@ -77,6 +77,13 @@ struct PhaseResult {
 [[nodiscard]] PhaseResult run_compiler_pipeline(int procs, const Workload& w,
                                                 const PipelineConfig& cfg);
 
+/// Process-lifetime pooled machine, one per process count: benches sweeping
+/// many data points at the same P dispatch into the machine's parked worker
+/// pool instead of constructing (and thus spawning threads for) a Machine
+/// per point. run() resets stats/clocks/mailboxes, so results are identical
+/// to a fresh machine.
+[[nodiscard]] rt::Machine& pooled_machine(int procs);
+
 // --- table printing ---------------------------------------------------------
 
 /// Prints one table row: label then (measured, paper) column pairs.

@@ -17,6 +17,14 @@ namespace {
 
 constexpr int kMedianIterations = 40;
 constexpr f64 kDegenerateExtent = 1e-12;
+// A group whose final bisection window still holds more than this fraction
+// of its weight has a tie cluster sitting on the cut (coincident or
+// duplicate coordinates); its window members are re-split by global id.
+// Calibration: structured grids routinely park a whole coordinate plane
+// (a few percent of the group) on the cut and have always been split
+// whole-plane; the threshold only fires on macroscopic clusters, bounding
+// the worst untreated imbalance at ~1.2 while leaving grid cuts untouched.
+constexpr f64 kTieWeightFraction = 0.10;
 
 struct Group {
   i64 part_lo;  // this group will end up holding parts [part_lo, part_hi)
@@ -216,8 +224,11 @@ std::vector<i64> recursive_bisection(rt::Process& p, const GeoColView& g,
     }
 
     // Weighted-median search: synchronized interval bisection, all groups at
-    // once (one vector allreduce per iteration).
+    // once (one vector allreduce per iteration). w_lo/w_hi track the exact
+    // weight strictly below each interval endpoint as it moves — free
+    // byproducts of the loop's own reductions, consumed by tie detection.
     std::vector<f64> lo = proj_min, hi = proj_max, cut(na);
+    std::vector<f64> w_lo(na, 0.0), w_hi = total_w;
     for (int it = 0; it < kMedianIterations; ++it) {
       for (std::size_t s = 0; s < na; ++s) cut[s] = 0.5 * (lo[s] + hi[s]);
       std::vector<f64> below(na, 0.0);
@@ -235,10 +246,69 @@ std::vector<i64> recursive_bisection(rt::Process& p, const GeoColView& g,
       for (std::size_t s = 0; s < na; ++s) {
         if (below[s] < target[s]) {
           lo[s] = cut[s];
+          w_lo[s] = below[s];
         } else {
           hi[s] = cut[s];
+          w_hi[s] = below[s];
         }
       }
+    }
+
+    // Tie-splitting: duplicate coordinates make the below-weight jump
+    // discontinuously, so the bisection stalls with the whole tie cluster
+    // inside the final window [lo, hi] — the plain "proj < cut" assignment
+    // would dump all of it on one side, however unbalanced. For any group
+    // whose window still holds a macroscopic share of its weight, bisect a
+    // global-id threshold over the window members so that
+    // weight{proj < lo} + weight{window, gid < id_cut} hits the target.
+    // Global ids are unique, so this always lands within one point of the
+    // target, deterministically and identically on every rank. Groups with
+    // no tie skip this entirely (no extra collectives, bit-identical cuts).
+    std::vector<char> tied(na, 0);
+    std::vector<i64> id_cut(na, 0);
+    bool any_tie = false;
+    for (std::size_t s = 0; s < na; ++s) {
+      if (total_w[s] > 0.0 &&
+          w_hi[s] - w_lo[s] > kTieWeightFraction * total_w[s]) {
+        tied[s] = 1;
+        any_tie = true;  // replicated decision: inputs are allreduced values
+      }
+    }
+    if (any_tie) {
+      const i64 id_limit = g.nglobal();
+      std::vector<i64> id_lo(na, 0), id_hi(na, id_limit);
+      int id_iters = 1;
+      while ((i64{1} << id_iters) < id_limit) ++id_iters;
+      std::vector<f64> below_id(na, 0.0);
+      for (int it = 0; it <= id_iters; ++it) {
+        for (std::size_t s = 0; s < na; ++s) {
+          id_cut[s] = id_lo[s] + (id_hi[s] - id_lo[s]) / 2;
+        }
+        std::fill(below_id.begin(), below_id.end(), 0.0);
+        for (i64 l = 0; l < n; ++l) {
+          const i64 slot = slot_of_group[static_cast<std::size_t>(group_of[
+              static_cast<std::size_t>(l)])];
+          if (slot < 0 || !tied[static_cast<std::size_t>(slot)]) continue;
+          const std::size_t s = static_cast<std::size_t>(slot);
+          const f64 t = proj[static_cast<std::size_t>(l)];
+          if (t >= lo[s] && t <= hi[s] &&
+              globals[static_cast<std::size_t>(l)] < id_cut[s]) {
+            below_id[s] += g.weight_of(l);
+          }
+        }
+        p.clock().charge_ops(n, p.params().flop_us);
+        below_id = rt::allreduce_vec(p, below_id, std::plus<>{});
+        for (std::size_t s = 0; s < na; ++s) {
+          if (!tied[s]) continue;
+          if (w_lo[s] + below_id[s] < target[s]) {
+            id_lo[s] = id_cut[s];
+          } else {
+            id_hi[s] = id_cut[s];
+          }
+        }
+      }
+      // weight{left}(id_hi) >= target by invariant, overshoot <= one point.
+      for (std::size_t s = 0; s < na; ++s) id_cut[s] = id_hi[s];
     }
 
     // Split the groups and reassign members.
@@ -261,10 +331,17 @@ std::vector<i64> recursive_bisection(rt::Process& p, const GeoColView& g,
       const i64 slot = slot_of_group[static_cast<std::size_t>(old)];
       if (slot < 0) continue;
       const std::size_t s = static_cast<std::size_t>(slot);
+      const f64 t = proj[static_cast<std::size_t>(l)];
+      bool left;
+      if (tied[s]) {
+        left = t < lo[s] ||
+               (t <= hi[s] && globals[static_cast<std::size_t>(l)] < id_cut[s]);
+      } else {
+        left = t < 0.5 * (lo[s] + hi[s]);
+      }
       group_of[static_cast<std::size_t>(l)] =
-          proj[static_cast<std::size_t>(l)] < 0.5 * (lo[s] + hi[s])
-              ? left_child[static_cast<std::size_t>(old)]
-              : right_child[static_cast<std::size_t>(old)];
+          left ? left_child[static_cast<std::size_t>(old)]
+               : right_child[static_cast<std::size_t>(old)];
     }
     p.clock().charge_ops(n, p.params().mem_us_per_word);
   }

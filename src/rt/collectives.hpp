@@ -1,11 +1,22 @@
 // Collective operations over all logical processes of a Machine.
 //
-// Implementation: shared-memory blackboard (deposit pointer → barrier → read
-// → barrier), which is correct and fast on the thread-backed substrate.
-// Timing: BSP-style superstep charging — entering clocks are equalized to the
-// maximum, then each process is charged for the messages a real
+// Implementation: shared-memory blackboard over the machine's parity
+// double-buffered slots. Every collective pays ONE fused tree pass
+// (Process::barrier_clock_max) that simultaneously synchronizes the ranks
+// and max-reduces their entering virtual clocks — the BSP "equalize, then
+// charge" step rides the barrier's tree rounds instead of costing two extra
+// phases. Values up to Machine::kBlackboardBytes are copied into the
+// machine-owned slot, so the collective completes in that single phase (the
+// epoch/parity protocol makes a later overwrite of an unread slot
+// impossible; see Machine::bb_slot). Larger payloads are published by
+// pointer into the caller's memory and guarded by one trailing read-done
+// phase — two phases total, the maximum any collective costs.
+//
+// Timing: BSP-style superstep charging — entering clocks are equalized to
+// the maximum, then each process is charged for the messages a real
 // hypercube implementation would send/receive (see rt/cost_model.hpp). This
-// keeps virtual times deterministic and independent of host scheduling.
+// keeps virtual times deterministic, independent of host scheduling, and
+// bit-identical to the seed's central-barrier implementation.
 #pragma once
 
 #include <algorithm>
@@ -20,39 +31,63 @@ namespace chaos::rt {
 
 namespace detail {
 
-/// Equalizes all virtual clocks to the max entering value plus @p extra_us.
-/// Costs two raw barriers; publishes through the machine's clock slots.
-inline void clock_sync_max(Process& p, f64 extra_us) {
-  Machine& m = p.machine();
-  m.clock_put(p.rank(), p.clock().now_us());
-  p.barrier_sync_only();
-  const f64 max_us = m.clock_slot_max();
-  p.barrier_sync_only();
-  p.clock().advance_to(max_us);
+/// One fused pass: full synchronization, clock equalization to the global
+/// max, plus @p extra_us of modeled collective cost.
+inline void fused_sync(Process& p, f64 extra_us) {
+  p.clock().advance_to(p.barrier_clock_max());
   p.clock().charge(extra_us);
 }
+
+/// Publishes a pointer through the rank's inline slot (pointer mode, for
+/// payloads that do not fit kBlackboardBytes).
+inline void bb_publish_ptr(Machine& m, int rank, u64 seq, const void* ptr) {
+  std::memcpy(m.bb_slot(rank, seq), &ptr, sizeof(ptr));
+}
+
+inline const void* bb_fetch_ptr(const Machine& m, int rank, u64 seq) {
+  const void* ptr = nullptr;
+  std::memcpy(&ptr, m.bb_slot(rank, seq), sizeof(ptr));
+  return ptr;
+}
+
+template <typename T>
+inline constexpr bool fits_inline_v =
+    sizeof(T) <= Machine::kBlackboardBytes;
 
 }  // namespace detail
 
 /// Synchronization barrier; charges the modeled hypercube barrier cost.
+/// One raw phase.
 inline void barrier(Process& p) {
   ++p.stats().collectives;
-  detail::clock_sync_max(p, p.params().barrier_us(p.nprocs()));
+  detail::fused_sync(p, p.params().barrier_us(p.nprocs()));
 }
 
 /// Broadcast a trivially-copyable value from @p root to all processes.
+/// One phase when T fits an inline slot, two otherwise.
 template <typename T>
 T broadcast(Process& p, const T& value, int root = 0) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++p.stats().collectives;
   Machine& m = p.machine();
-  if (p.rank() == root) m.bb_put(p.rank(), &value);
-  p.barrier_sync_only();
-  T out = *static_cast<const T*>(m.bb_get(root));
-  p.barrier_sync_only();
-  detail::clock_sync_max(p, p.params().small_collective_us(
-                                p.nprocs(), static_cast<i64>(sizeof(T))));
-  return out;
+  const u64 seq = p.next_bb_seq();
+  const f64 cost = p.params().small_collective_us(
+      p.nprocs(), static_cast<i64>(sizeof(T)));
+  if constexpr (detail::fits_inline_v<T>) {
+    if (p.rank() == root) {
+      std::memcpy(m.bb_slot(root, seq), &value, sizeof(T));
+    }
+    detail::fused_sync(p, cost);
+    T out;
+    std::memcpy(&out, m.bb_slot(root, seq), sizeof(T));
+    return out;
+  } else {
+    if (p.rank() == root) detail::bb_publish_ptr(m, root, seq, &value);
+    detail::fused_sync(p, cost);
+    T out = *static_cast<const T*>(detail::bb_fetch_ptr(m, root, seq));
+    p.barrier_sync_only();  // read-done: root's value must outlive all reads
+    return out;
+  }
 }
 
 /// Broadcast a whole vector from @p root (payload charged per byte).
@@ -62,32 +97,48 @@ std::vector<T> broadcast_vec(Process& p, const std::vector<T>& value,
   static_assert(std::is_trivially_copyable_v<T>);
   ++p.stats().collectives;
   Machine& m = p.machine();
-  if (p.rank() == root) m.bb_put(p.rank(), &value);
+  const u64 seq = p.next_bb_seq();
+  if (p.rank() == root) detail::bb_publish_ptr(m, root, seq, &value);
+  detail::fused_sync(p, 0.0);
+  std::vector<T> out =
+      *static_cast<const std::vector<T>*>(detail::bb_fetch_ptr(m, root, seq));
+  p.clock().charge(p.params().small_collective_us(
+      p.nprocs(), static_cast<i64>(out.size() * sizeof(T))));
   p.barrier_sync_only();
-  std::vector<T> out = *static_cast<const std::vector<T>*>(m.bb_get(root));
-  p.barrier_sync_only();
-  detail::clock_sync_max(
-      p, p.params().small_collective_us(
-             p.nprocs(), static_cast<i64>(out.size() * sizeof(T))));
   return out;
 }
 
 /// All-reduce with an arbitrary associative @p op (e.g. std::plus<>{}).
+/// One phase when T fits an inline slot, two otherwise.
 template <typename T, typename BinaryOp>
 T allreduce(Process& p, const T& value, BinaryOp op) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++p.stats().collectives;
   Machine& m = p.machine();
-  m.bb_put(p.rank(), &value);
-  p.barrier_sync_only();
-  T acc = *static_cast<const T*>(m.bb_get(0));
-  for (int r = 1; r < p.nprocs(); ++r) {
-    acc = op(acc, *static_cast<const T*>(m.bb_get(r)));
+  const u64 seq = p.next_bb_seq();
+  const f64 cost = p.params().small_collective_us(
+      p.nprocs(), static_cast<i64>(sizeof(T)));
+  if constexpr (detail::fits_inline_v<T>) {
+    std::memcpy(m.bb_slot(p.rank(), seq), &value, sizeof(T));
+    detail::fused_sync(p, cost);
+    T acc;
+    std::memcpy(&acc, m.bb_slot(0, seq), sizeof(T));
+    for (int r = 1; r < p.nprocs(); ++r) {
+      T v;
+      std::memcpy(&v, m.bb_slot(r, seq), sizeof(T));
+      acc = op(acc, v);
+    }
+    return acc;
+  } else {
+    detail::bb_publish_ptr(m, p.rank(), seq, &value);
+    detail::fused_sync(p, cost);
+    T acc = *static_cast<const T*>(detail::bb_fetch_ptr(m, 0, seq));
+    for (int r = 1; r < p.nprocs(); ++r) {
+      acc = op(acc, *static_cast<const T*>(detail::bb_fetch_ptr(m, r, seq)));
+    }
+    p.barrier_sync_only();
+    return acc;
   }
-  p.barrier_sync_only();
-  detail::clock_sync_max(p, p.params().small_collective_us(
-                                p.nprocs(), static_cast<i64>(sizeof(T))));
-  return acc;
 }
 
 template <typename T>
@@ -111,19 +162,21 @@ std::vector<T> allreduce_vec(Process& p, const std::vector<T>& value,
   static_assert(std::is_trivially_copyable_v<T>);
   ++p.stats().collectives;
   Machine& m = p.machine();
-  m.bb_put(p.rank(), &value);
-  p.barrier_sync_only();
-  std::vector<T> acc = *static_cast<const std::vector<T>*>(m.bb_get(0));
+  const u64 seq = p.next_bb_seq();
+  detail::bb_publish_ptr(m, p.rank(), seq, &value);
+  detail::fused_sync(p, 0.0);
+  std::vector<T> acc =
+      *static_cast<const std::vector<T>*>(detail::bb_fetch_ptr(m, 0, seq));
   for (int r = 1; r < p.nprocs(); ++r) {
-    const auto& other = *static_cast<const std::vector<T>*>(m.bb_get(r));
+    const auto& other =
+        *static_cast<const std::vector<T>*>(detail::bb_fetch_ptr(m, r, seq));
     CHAOS_CHECK(other.size() == acc.size(),
                 "allreduce_vec: ranks disagree on vector length");
     for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], other[i]);
   }
+  p.clock().charge(p.params().small_collective_us(
+      p.nprocs(), static_cast<i64>(acc.size() * sizeof(T))));
   p.barrier_sync_only();
-  detail::clock_sync_max(
-      p, p.params().small_collective_us(
-             p.nprocs(), static_cast<i64>(acc.size() * sizeof(T))));
   return acc;
 }
 
@@ -133,16 +186,29 @@ T exscan_sum(Process& p, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++p.stats().collectives;
   Machine& m = p.machine();
-  m.bb_put(p.rank(), &value);
-  p.barrier_sync_only();
-  T acc{};
-  for (int r = 0; r < p.rank(); ++r) {
-    acc = acc + *static_cast<const T*>(m.bb_get(r));
+  const u64 seq = p.next_bb_seq();
+  const f64 cost = p.params().small_collective_us(
+      p.nprocs(), static_cast<i64>(sizeof(T)));
+  if constexpr (detail::fits_inline_v<T>) {
+    std::memcpy(m.bb_slot(p.rank(), seq), &value, sizeof(T));
+    detail::fused_sync(p, cost);
+    T acc{};
+    for (int r = 0; r < p.rank(); ++r) {
+      T v;
+      std::memcpy(&v, m.bb_slot(r, seq), sizeof(T));
+      acc = acc + v;
+    }
+    return acc;
+  } else {
+    detail::bb_publish_ptr(m, p.rank(), seq, &value);
+    detail::fused_sync(p, cost);
+    T acc{};
+    for (int r = 0; r < p.rank(); ++r) {
+      acc = acc + *static_cast<const T*>(detail::bb_fetch_ptr(m, r, seq));
+    }
+    p.barrier_sync_only();
+    return acc;
   }
-  p.barrier_sync_only();
-  detail::clock_sync_max(p, p.params().small_collective_us(
-                                p.nprocs(), static_cast<i64>(sizeof(T))));
-  return acc;
 }
 
 /// Gather one value from every rank; every rank receives the full array.
@@ -151,19 +217,30 @@ std::vector<T> allgather(Process& p, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++p.stats().collectives;
   Machine& m = p.machine();
-  m.bb_put(p.rank(), &value);
-  p.barrier_sync_only();
+  const u64 seq = p.next_bb_seq();
+  const f64 cost = p.params().small_collective_us(
+      p.nprocs(),
+      static_cast<i64>(p.nprocs()) * static_cast<i64>(sizeof(T)));
   std::vector<T> out;
   out.reserve(static_cast<std::size_t>(p.nprocs()));
-  for (int r = 0; r < p.nprocs(); ++r) {
-    out.push_back(*static_cast<const T*>(m.bb_get(r)));
+  if constexpr (detail::fits_inline_v<T>) {
+    std::memcpy(m.bb_slot(p.rank(), seq), &value, sizeof(T));
+    detail::fused_sync(p, cost);
+    for (int r = 0; r < p.nprocs(); ++r) {
+      T v;
+      std::memcpy(&v, m.bb_slot(r, seq), sizeof(T));
+      out.push_back(v);
+    }
+    return out;
+  } else {
+    detail::bb_publish_ptr(m, p.rank(), seq, &value);
+    detail::fused_sync(p, cost);
+    for (int r = 0; r < p.nprocs(); ++r) {
+      out.push_back(*static_cast<const T*>(detail::bb_fetch_ptr(m, r, seq)));
+    }
+    p.barrier_sync_only();
+    return out;
   }
-  p.barrier_sync_only();
-  detail::clock_sync_max(
-      p, p.params().small_collective_us(
-             p.nprocs(), static_cast<i64>(p.nprocs()) *
-                             static_cast<i64>(sizeof(T))));
-  return out;
 }
 
 /// Variable-length allgather: concatenates every rank's span in rank order.
@@ -174,20 +251,23 @@ std::vector<T> allgatherv(Process& p, std::span<const T> local,
   static_assert(std::is_trivially_copyable_v<T>);
   ++p.stats().collectives;
   Machine& m = p.machine();
-  m.bb_put(p.rank(), &local);
-  p.barrier_sync_only();
+  const u64 seq = p.next_bb_seq();
+  // A span is 16 trivially-copyable bytes: deposit the view itself inline;
+  // the trailing phase still guards the caller-owned payload it points at.
+  std::memcpy(m.bb_slot(p.rank(), seq), &local, sizeof(local));
+  detail::fused_sync(p, 0.0);
   std::vector<T> out;
   std::vector<i64> offsets(static_cast<std::size_t>(p.nprocs()) + 1, 0);
   for (int r = 0; r < p.nprocs(); ++r) {
-    const auto& sp = *static_cast<const std::span<const T>*>(m.bb_get(r));
+    std::span<const T> sp;
+    std::memcpy(&sp, m.bb_slot(r, seq), sizeof(sp));
     offsets[static_cast<std::size_t>(r) + 1] =
         offsets[static_cast<std::size_t>(r)] + static_cast<i64>(sp.size());
     out.insert(out.end(), sp.begin(), sp.end());
   }
+  p.clock().charge(p.params().small_collective_us(
+      p.nprocs(), static_cast<i64>(out.size() * sizeof(T))));
   p.barrier_sync_only();
-  detail::clock_sync_max(
-      p, p.params().small_collective_us(
-             p.nprocs(), static_cast<i64>(out.size() * sizeof(T))));
   if (offsets_out) *offsets_out = std::move(offsets);
   return out;
 }
@@ -202,18 +282,19 @@ std::vector<std::vector<T>> alltoallv(Process& p,
               "alltoallv: send buffer list must have one entry per rank");
   ++p.stats().collectives;
   Machine& m = p.machine();
-  m.bb_put(p.rank(), &send);
-  p.barrier_sync_only();
+  const u64 seq = p.next_bb_seq();
+  detail::bb_publish_ptr(m, p.rank(), seq, &send);
+  detail::fused_sync(p, 0.0);
   std::vector<std::vector<T>> out(static_cast<std::size_t>(p.nprocs()));
   for (int s = 0; s < p.nprocs(); ++s) {
-    const auto& sb =
-        *static_cast<const std::vector<std::vector<T>>*>(m.bb_get(s));
+    const auto& sb = *static_cast<const std::vector<std::vector<T>>*>(
+        detail::bb_fetch_ptr(m, s, seq));
     out[static_cast<std::size_t>(s)] = sb[static_cast<std::size_t>(p.rank())];
   }
   p.barrier_sync_only();
 
-  // BSP superstep charge: equalize, then pay per nonempty message each way.
-  detail::clock_sync_max(p, 0.0);
+  // BSP superstep charge: clocks were equalized by the fused pass; now pay
+  // per nonempty message each way.
   const CostParams& c = p.params();
   i64 off_process_bytes = 0;
   for (int d = 0; d < p.nprocs(); ++d) {
@@ -251,17 +332,17 @@ void alltoall(Process& p, std::span<const T> send, std::span<T> recv) {
               "alltoall: need exactly one slot per rank on both sides");
   ++p.stats().collectives;
   Machine& m = p.machine();
-  m.bb_put(p.rank(), send.data());
-  p.barrier_sync_only();
-  for (int s = 0; s < p.nprocs(); ++s) {
-    recv[static_cast<std::size_t>(s)] =
-        static_cast<const T*>(m.bb_get(s))[p.rank()];
-  }
-  p.barrier_sync_only();
-  detail::clock_sync_max(
+  const u64 seq = p.next_bb_seq();
+  detail::bb_publish_ptr(m, p.rank(), seq, send.data());
+  detail::fused_sync(
       p, p.params().small_collective_us(
              p.nprocs(),
              static_cast<i64>(p.nprocs()) * static_cast<i64>(sizeof(T))));
+  for (int s = 0; s < p.nprocs(); ++s) {
+    recv[static_cast<std::size_t>(s)] =
+        static_cast<const T*>(detail::bb_fetch_ptr(m, s, seq))[p.rank()];
+  }
+  p.barrier_sync_only();
   // Traffic accounting matches alltoallv: one message of one T each way per
   // off-process peer, so the counts round a flat exchange needs stays
   // visible to MessageStats.
@@ -275,6 +356,7 @@ void alltoall(Process& p, std::span<const T> send, std::span<T> recv) {
 namespace detail {
 /// Blackboard view one rank publishes during an alltoallv_flat: its whole
 /// flat send buffer plus the P+1 prefix that slices it by destination.
+/// Trivially copyable, 16 bytes — deposited inline into the rank's slot.
 template <typename T>
 struct FlatSendView {
   const T* data;
@@ -303,12 +385,15 @@ void alltoallv_flat(Process& p, std::span<const T> send,
               "alltoallv_flat: buffer smaller than its offset prefix claims");
   ++p.stats().collectives;
   Machine& m = p.machine();
+  const u64 seq = p.next_bb_seq();
   const detail::FlatSendView<T> view{send.data(), send_offsets.data()};
-  m.bb_put(p.rank(), &view);
-  p.barrier_sync_only();
+  static_assert(sizeof(view) <= Machine::kBlackboardBytes);
+  std::memcpy(m.bb_slot(p.rank(), seq), &view, sizeof(view));
+  detail::fused_sync(p, 0.0);
   const auto me = static_cast<std::size_t>(p.rank());
   for (int s = 0; s < p.nprocs(); ++s) {
-    const auto& sv = *static_cast<const detail::FlatSendView<T>*>(m.bb_get(s));
+    detail::FlatSendView<T> sv;
+    std::memcpy(&sv, m.bb_slot(s, seq), sizeof(sv));
     const i64 lo = sv.offsets[me];
     const i64 n = sv.offsets[me + 1] - lo;
     CHAOS_CHECK(n == recv_offsets[static_cast<std::size_t>(s) + 1] -
@@ -322,7 +407,6 @@ void alltoallv_flat(Process& p, std::span<const T> send,
   }
   p.barrier_sync_only();
 
-  detail::clock_sync_max(p, 0.0);
   const CostParams& c = p.params();
   i64 off_process_bytes = 0;
   for (int d = 0; d < p.nprocs(); ++d) {
@@ -357,21 +441,21 @@ std::vector<T> gatherv(Process& p, std::span<const T> local, int root = 0,
   static_assert(std::is_trivially_copyable_v<T>);
   ++p.stats().collectives;
   Machine& m = p.machine();
-  m.bb_put(p.rank(), &local);
-  p.barrier_sync_only();
+  const u64 seq = p.next_bb_seq();
+  std::memcpy(m.bb_slot(p.rank(), seq), &local, sizeof(local));
+  detail::fused_sync(p, 0.0);
   std::vector<T> out;
   if (p.rank() == root) {
     std::vector<i64> offsets(static_cast<std::size_t>(p.nprocs()) + 1, 0);
     for (int r = 0; r < p.nprocs(); ++r) {
-      const auto& sp = *static_cast<const std::span<const T>*>(m.bb_get(r));
+      std::span<const T> sp;
+      std::memcpy(&sp, m.bb_slot(r, seq), sizeof(sp));
       offsets[static_cast<std::size_t>(r) + 1] =
           offsets[static_cast<std::size_t>(r)] + static_cast<i64>(sp.size());
       out.insert(out.end(), sp.begin(), sp.end());
     }
     if (offsets_out) *offsets_out = std::move(offsets);
   }
-  p.barrier_sync_only();
-  detail::clock_sync_max(p, 0.0);
   const CostParams& c = p.params();
   const i64 my_bytes = static_cast<i64>(local.size_bytes());
   if (p.rank() != root) {
@@ -380,7 +464,8 @@ std::vector<T> gatherv(Process& p, std::span<const T> local, int root = 0,
   } else {
     for (int r = 0; r < p.nprocs(); ++r) {
       if (r == root) continue;
-      const auto& sp = *static_cast<const std::span<const T>*>(m.bb_get(r));
+      std::span<const T> sp;
+      std::memcpy(&sp, m.bb_slot(r, seq), sizeof(sp));
       const i64 bytes = static_cast<i64>(sp.size_bytes());
       p.clock().charge(c.recv_us(bytes));
       p.stats().note_recv(bytes);
@@ -397,17 +482,16 @@ std::vector<T> scatterv(Process& p, const std::vector<std::vector<T>>& blocks,
   static_assert(std::is_trivially_copyable_v<T>);
   ++p.stats().collectives;
   Machine& m = p.machine();
+  const u64 seq = p.next_bb_seq();
   if (p.rank() == root) {
     CHAOS_CHECK(static_cast<int>(blocks.size()) == p.nprocs(),
                 "scatterv: need one block per rank");
-    m.bb_put(p.rank(), &blocks);
+    detail::bb_publish_ptr(m, root, seq, &blocks);
   }
-  p.barrier_sync_only();
-  const auto& all =
-      *static_cast<const std::vector<std::vector<T>>*>(m.bb_get(root));
+  detail::fused_sync(p, 0.0);
+  const auto& all = *static_cast<const std::vector<std::vector<T>>*>(
+      detail::bb_fetch_ptr(m, root, seq));
   std::vector<T> out = all[static_cast<std::size_t>(p.rank())];
-  p.barrier_sync_only();
-  detail::clock_sync_max(p, 0.0);
   const CostParams& c = p.params();
   const i64 bytes = static_cast<i64>(out.size() * sizeof(T));
   if (p.rank() == root) {

@@ -1,79 +1,219 @@
 #include "rt/machine.hpp"
 
-#include <exception>
-#include <thread>
+#include <bit>
 
 namespace chaos::rt {
 
+namespace {
+
+/// Pause instruction for the short pre-yield spin window.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield");
+#endif
+}
+
+
+/// Sentinel stored into the release words by poison(): larger than any real
+/// pass number, it releases every waiter regardless of its target epoch.
+constexpr chaos::u32 kPoisonEpoch = 0xffffffffu;
+
+}  // namespace
+
 Machine::Machine(int nprocs, CostParams params)
     : nprocs_(nprocs),
+      // With a core per rank, spinning rides out the whole barrier; when
+      // oversubscribed the ranks we wait for are not even running, so every
+      // spin or yield only delays them — go straight to the futex sleep.
+      spin_limit_(static_cast<int>(std::thread::hardware_concurrency()) >=
+                          nprocs
+                      ? 4096
+                      : 0),
+      yield_limit_(static_cast<int>(std::thread::hardware_concurrency()) >=
+                           nprocs
+                       ? 32
+                       : 0),
       params_(params),
-      bb_slots_(static_cast<std::size_t>(nprocs), nullptr),
-      clock_slots_(static_cast<std::size_t>(nprocs), 0.0),
+      bb_(static_cast<std::size_t>(nprocs) * 2),
+      rank_state_(static_cast<std::size_t>(nprocs)),
       stats_(static_cast<std::size_t>(nprocs)),
       final_clock_us_(static_cast<std::size_t>(nprocs), 0.0) {
   CHAOS_CHECK(nprocs >= 1, "machine needs at least one process");
   mailboxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<Mailbox>(nprocs, poisoned_));
+  }
+  workers_.reserve(static_cast<std::size_t>(nprocs > 1 ? nprocs - 1 : 0));
+  for (int r = 1; r < nprocs; ++r) {
+    workers_.emplace_back(&Machine::worker_loop, this, r);
   }
 }
 
-Machine::~Machine() = default;
-
-void Machine::barrier_wait() {
-  std::unique_lock lock(barrier_mutex_);
-  if (poisoned_) throw ChaosError("machine poisoned: a sibling rank threw");
-  const bool my_sense = barrier_sense_;
-  if (++barrier_arrived_ == nprocs_) {
-    barrier_arrived_ = 0;
-    barrier_sense_ = !barrier_sense_;
-    barrier_cv_.notify_all();
-    return;
+Machine::~Machine() {
+  {
+    std::lock_guard lock(pool_mutex_);
+    stop_ = true;
   }
-  barrier_cv_.wait(lock,
-                   [&] { return barrier_sense_ != my_sense || poisoned_; });
-  if (poisoned_) throw ChaosError("machine poisoned: a sibling rank threw");
+  pool_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void Machine::wait_epoch(std::atomic<u32>& epoch, u32 target) {
+  int spins = 0;
+  int yields = 0;
+  u32 seen;
+  while ((seen = epoch.load(std::memory_order_acquire)) < target) {
+    if (poisoned_.load(std::memory_order_acquire)) break;
+    if (spins < spin_limit_) {
+      ++spins;
+      cpu_pause();
+    } else if (yields < yield_limit_) {
+      ++yields;
+      std::this_thread::yield();
+    } else {
+      // Futex sleep until the cell changes. poison() cannot just notify —
+      // a notify between our poison check and this wait would be missed —
+      // so it also stores a sentinel epoch into the cell, changing the
+      // waited-on value itself.
+      epoch.wait(seen, std::memory_order_acquire);
+    }
+  }
+  // Checked on EVERY exit, fast path included: the poison sentinel
+  // satisfies any epoch target, and a rank must never mistake a poisoned
+  // release for a completed reduction.
+  if (poisoned_.load(std::memory_order_acquire)) {
+    throw MachinePoisoned("machine poisoned: a sibling rank threw");
+  }
+}
+
+f64 Machine::barrier_reduce_max(int rank, f64 value) {
+  if (nprocs_ == 1) return value;
+  if (poisoned_.load(std::memory_order_acquire)) {
+    throw MachinePoisoned("machine poisoned: a sibling rank threw");
+  }
+  RankState& me = rank_state_[static_cast<std::size_t>(rank)];
+  const u32 n = ++me.barrier_epoch;
+  const std::size_t parity = n & 1;
+  ArrivalCell& cell = arrival_[parity];
+  BarrierSlot& rel = release_[parity];
+  // Fold my value: non-negative IEEE doubles order as unsigned integers, so
+  // a CAS-max over the bit pattern is the whole reduction. Relaxed is
+  // enough — the counter's RMW chain below carries the ordering.
+  const u64 bits = std::bit_cast<u64>(value);
+  u64 seen = cell.max_bits.load(std::memory_order_relaxed);
+  while (bits > seen && !cell.max_bits.compare_exchange_weak(
+                            seen, bits, std::memory_order_relaxed,
+                            std::memory_order_relaxed)) {
+  }
+  // Count myself in. acq_rel makes the chain of arrival RMWs a release
+  // sequence: the last arriver's view includes every rank's pre-barrier
+  // writes, and its release word hands that view to everyone.
+  if (cell.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == nprocs_) {
+    // Reset the cells for this parity's next user (pass n+2 — unreachable
+    // until release n+1, hence until this release, has been observed).
+    const u64 folded = cell.max_bits.exchange(0, std::memory_order_relaxed);
+    cell.arrived.store(0, std::memory_order_relaxed);
+    rel.value = std::bit_cast<f64>(folded);
+    rel.epoch.store(n, std::memory_order_release);
+    rel.epoch.notify_all();
+    return rel.value;
+  }
+  wait_epoch(rel.epoch, n);
+  return rel.value;
+}
+
+void Machine::poison() {
+  poisoned_.store(true, std::memory_order_release);
+  // Wake every possible waiter so it can observe the flag. Barrier waiters
+  // futex-sleep on the release words, so poison must change the waited-on
+  // values themselves (a bare notify racing a waiter about to sleep would
+  // be missed); the sentinel satisfies any epoch target and wait_epoch
+  // rechecks the flag on return. Mailbox waiters sit on condvars.
+  release_[0].epoch.store(kPoisonEpoch, std::memory_order_release);
+  release_[1].epoch.store(kPoisonEpoch, std::memory_order_release);
+  release_[0].epoch.notify_all();
+  release_[1].epoch.notify_all();
+  for (auto& mb : mailboxes_) mb->poison_wake();
+}
+
+void Machine::execute(int rank, const std::function<void(Process&)>& body) {
+  Process proc(*this, rank);
+  try {
+    body(proc);
+  } catch (...) {
+    {
+      std::lock_guard lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    poison();
+  }
+  stats_[static_cast<std::size_t>(rank)] = proc.stats();
+  final_clock_us_[static_cast<std::size_t>(rank)] = proc.clock().now_us();
+}
+
+void Machine::worker_loop(int rank) {
+  u64 seen_generation = 0;
+  while (true) {
+    const std::function<void(Process&)>* body = nullptr;
+    {
+      std::unique_lock lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] {
+        return stop_ || run_generation_ > seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = run_generation_;
+      body = body_;
+    }
+    execute(rank, *body);
+    {
+      std::lock_guard lock(pool_mutex_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void Machine::reset_for_run() {
+  // Workers are parked (the previous run's completion handshake went
+  // through pool_mutex_), so plain writes here are ordered before their
+  // next dispatch by the same mutex.
+  poisoned_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  for (auto& s : stats_) s = MessageStats{};
+  for (auto& c : final_clock_us_) c = 0.0;
+  for (auto& rs : rank_state_) rs.barrier_epoch = 0;
+  for (auto& cell : arrival_) {
+    cell.max_bits.store(0, std::memory_order_relaxed);
+    cell.arrived.store(0, std::memory_order_relaxed);
+  }
+  release_[0].epoch.store(0, std::memory_order_relaxed);
+  release_[1].epoch.store(0, std::memory_order_relaxed);
+  for (auto& mb : mailboxes_) mb->clear();
 }
 
 void Machine::run(const std::function<void(Process&)>& body) {
-  // Reset shared state so a Machine can host several SPMD regions.
-  barrier_arrived_ = 0;
-  barrier_sense_ = false;
-  poisoned_ = false;
-  for (auto& s : stats_) s = MessageStats{};
-  for (auto& c : final_clock_us_) c = 0.0;
-
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&](int rank) {
-    Process proc(*this, rank);
-    try {
-      body(proc);
-    } catch (...) {
-      {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-      // Release ranks blocked in the barrier so run() can return.
-      std::lock_guard lock(barrier_mutex_);
-      poisoned_ = true;
-      barrier_cv_.notify_all();
-    }
-    stats_[static_cast<std::size_t>(rank)] = proc.stats();
-    final_clock_us_[static_cast<std::size_t>(rank)] = proc.clock().now_us();
-  };
-
+  reset_for_run();
   if (nprocs_ == 1) {
-    worker(0);
+    execute(0, body);
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(nprocs_));
-    for (int r = 0; r < nprocs_; ++r) threads.emplace_back(worker, r);
-    for (auto& t : threads) t.join();
+    {
+      std::lock_guard lock(pool_mutex_);
+      body_ = &body;
+      running_ = nprocs_ - 1;
+      ++run_generation_;
+    }
+    pool_cv_.notify_all();
+    execute(0, body);
+    std::unique_lock lock(pool_mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    body_ = nullptr;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
 }
 
 void Machine::run(int nprocs, const std::function<void(Process&)>& body,

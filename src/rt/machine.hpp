@@ -1,16 +1,29 @@
-// The virtual distributed-memory machine. Machine::run launches P logical
-// SPMD processes (one std::thread each); each receives a Process& handle that
-// exposes rank/size, typed point-to-point messaging, a shared blackboard used
-// by the collective templates in rt/collectives.hpp, a VirtualClock, and
-// traffic statistics. This substrate substitutes for the paper's Intel
-// iPSC/860 hypercube (DESIGN.md §2).
+// The virtual distributed-memory machine. A Machine owns a persistent pool
+// of parked worker threads (one per logical process beyond rank 0);
+// Machine::run dispatches the SPMD body into the pool and executes rank 0
+// inline, so back-to-back runs reuse the same threads instead of paying a
+// spawn/join per call. Each rank receives a Process& handle that exposes
+// rank/size, typed point-to-point messaging, a parity double-buffered
+// blackboard used by the collective templates in rt/collectives.hpp, a
+// VirtualClock, and traffic statistics. Synchronization is an atomics-based
+// combining barrier with the virtual-clock max-reduction fused into its
+// arrival fold — no mutex anywhere on the fast path, spin-then-yield-then-
+// futex waiting, and a single one-word release broadcast per pass. This
+// substrate substitutes for the paper's Intel iPSC/860 hypercube
+// (DESIGN.md §2, §7).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <cstring>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -23,8 +36,10 @@ namespace chaos::rt {
 
 class Process;
 
-/// Owns the shared state of one SPMD execution: mailboxes, the central
-/// barrier, blackboard slots for collectives, and cost parameters.
+/// Owns the shared state of one SPMD execution: the worker pool, mailboxes,
+/// the combining barrier, blackboard slots for collectives, and cost
+/// parameters. Reusable: run() may be called any number of times; stats,
+/// clocks, poison state, and mailboxes are reset between runs.
 class Machine {
  public:
   explicit Machine(int nprocs, CostParams params = {});
@@ -34,9 +49,10 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   /// Runs @p body as rank 0..nprocs-1 concurrently; returns when all ranks
-  /// finish. The first exception thrown by any rank is rethrown here (other
-  /// ranks may deadlock in that case, so the machine releases them via a
-  /// poisoned barrier).
+  /// finish. The first exception thrown by any rank is rethrown here; the
+  /// machine poisons the barrier AND every mailbox, so ranks blocked in
+  /// collectives or in recv are released with MachinePoisoned instead of
+  /// deadlocking.
   void run(const std::function<void(Process&)>& body);
 
   /// One-shot convenience: construct, run, tear down.
@@ -54,48 +70,128 @@ class Machine {
 
   // --- internals shared with Process / collectives -------------------------
 
-  /// Central sense-reversing barrier over all logical processes.
-  void barrier_wait();
+  /// One fused combining pass: blocks until all ranks arrive, max-reduces
+  /// @p value (non-negative, an IEEE trick folds it as integer bits) across
+  /// them, and returns the global max on every rank. Arrivals CAS-fold the
+  /// value into one cell and fetch_add one counter — a radix-P combining
+  /// tree; a deeper tree would shed cacheline contention, but an arrival
+  /// RMW costs ~100ns while every extra tree level costs a wakeup chain
+  /// (a scheduler quantum when ranks outnumber cores), so flat wins for
+  /// P <= 64. The last arriver publishes the fold through a single
+  /// epoch-stamped release word — one notify_all per pass, with none of the
+  /// condvar herd's serialized mutex re-acquisition. Doubles as the
+  /// machine's memory fence — the release sequence through the counter's
+  /// RMW chain into the release word orders every pre-barrier write
+  /// (blackboard deposits included) before every post-barrier read on every
+  /// rank, which is what lets the blackboard slots stay plain bytes and
+  /// still run TSan-clean. Throws MachinePoisoned if a sibling rank failed.
+  f64 barrier_reduce_max(int rank, f64 value);
 
-  /// Blackboard: a per-rank pointer slot published between two barriers.
-  void bb_put(int rank, const void* p) { bb_slots_[rank] = p; }
-  [[nodiscard]] const void* bb_get(int rank) const { return bb_slots_[rank]; }
+  /// Byte capacity of one inline blackboard slot; values up to this size are
+  /// exchanged by copy (one barrier phase), larger payloads by pointer plus
+  /// a read-done phase.
+  static constexpr std::size_t kBlackboardBytes = 64;
 
-  /// Per-rank double slot (used for virtual-clock max-synchronization).
-  void clock_put(int rank, f64 v) { clock_slots_[rank] = v; }
-  [[nodiscard]] f64 clock_get(int rank) const { return clock_slots_[rank]; }
-
-  /// Max over all published clock slots. Collectives call this once per
-  /// superstep between barriers instead of each scanning the slots in their
-  /// own loop.
-  [[nodiscard]] f64 clock_slot_max() const {
-    f64 m = 0.0;
-    for (f64 v : clock_slots_) m = std::max(m, v);
-    return m;
+  /// Blackboard slot of @p rank for collective sequence number @p seq. Slots
+  /// are double-buffered on seq parity: a rank can be at most one collective
+  /// ahead of a peer that is still reading (completing collective n+1
+  /// requires every rank to have entered it, hence to have finished reading
+  /// collective n), so the writer of seq+2 can never clobber an unread slot.
+  void* bb_slot(int rank, u64 seq) {
+    return bb_[static_cast<std::size_t>(rank) * 2 + (seq & 1)].buf;
+  }
+  [[nodiscard]] const void* bb_slot(int rank, u64 seq) const {
+    return bb_[static_cast<std::size_t>(rank) * 2 + (seq & 1)].buf;
   }
 
-  Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+  Mailbox& mailbox(int rank) {
+    return *mailboxes_[static_cast<std::size_t>(rank)];
+  }
 
-  /// Monotonic counter advanced collectively (rank 0 bumps, all observe);
-  /// used to mint machine-wide unique ids such as DAD incarnations.
-  u64 bump_counter() { return ++counter_; }
+  /// Monotonic counter advanced collectively (rank 0 bumps, all observe via
+  /// broadcast); used to mint machine-wide unique ids such as DAD
+  /// incarnations. Atomic so cross-run reuse needs no external ordering.
+  u64 bump_counter() {
+    return counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
  private:
+  /// Arrival state of one barrier pass: ranks CAS the bit pattern of their
+  /// non-negative clock value into `max_bits` (IEEE doubles >= 0 order as
+  /// unsigned integers) and then count themselves in with `arrived`.
+  /// Parity-indexed (pass & 1): the last arriver of pass n resets the cells
+  /// before publishing the release word, and no rank can reach pass n+2 —
+  /// the next user of this parity — without having observed release n+1,
+  /// hence the reset.
+  struct alignas(64) ArrivalCell {
+    std::atomic<u64> max_bits{0};
+    std::atomic<int> arrived{0};
+  };
+
+  /// Release word of one barrier pass: the last arriver writes the folded
+  /// max to `value`, release-stores the pass number to `epoch`, and wakes
+  /// all waiters; everyone else acquire-waits on epoch >= n. The epoch is
+  /// 32-bit on purpose: that is the size std::atomic::wait can hand to the
+  /// futex directly, skipping the library's proxy-wait path. Pass numbers
+  /// reset to 0 every run(), so wraparound would need 2^32 barriers in one
+  /// SPMD region.
+  struct alignas(64) BarrierSlot {
+    std::atomic<u32> epoch{0};
+    f64 value = 0.0;
+  };
+
+  struct alignas(64) BlackboardSlot {
+    std::byte buf[kBlackboardBytes];
+  };
+
+  /// Per-rank barrier pass counter; only its owning rank touches it, padded
+  /// so neighbors do not false-share.
+  struct alignas(64) RankState {
+    u32 barrier_epoch = 0;
+  };
+
+  /// Acquire-waits until @p epoch reaches @p target: a short pause-spin for
+  /// the runs-on-its-own-core case, a few yields, then a futex-backed
+  /// atomic wait so oversubscribed hosts (64 logical ranks on a handful of
+  /// cores) sleep instead of thrashing the scheduler. Checks the poison
+  /// flag throughout.
+  void wait_epoch(std::atomic<u32>& epoch, u32 target);
+
+  void worker_loop(int rank);
+  /// Runs @p body as @p rank, records stats/clock, and on exception stores
+  /// the first error and poisons barrier + mailboxes.
+  void execute(int rank, const std::function<void(Process&)>& body);
+  void poison();
+  void reset_for_run();
+
   int nprocs_;
+  int spin_limit_;   ///< pause-spins before yielding; 0 when oversubscribed
+  int yield_limit_;  ///< yields before the futex sleep; 0 when oversubscribed
   CostParams params_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<const void*> bb_slots_;
-  std::vector<f64> clock_slots_;
+  ArrivalCell arrival_[2];                   // combining cells, [parity]
+  BarrierSlot release_[2];                   // broadcast words, [parity]
+  std::vector<BlackboardSlot> bb_;           // [rank][parity]
+  std::vector<RankState> rank_state_;        // [rank]
   std::vector<MessageStats> stats_;
   std::vector<f64> final_clock_us_;
-  u64 counter_ = 0;
+  std::atomic<u64> counter_{0};
+  std::atomic<bool> poisoned_{false};
 
-  // Sense-reversing barrier state.
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_arrived_ = 0;
-  bool barrier_sense_ = false;
-  bool poisoned_ = false;
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+
+  // Worker pool: parked threads for ranks 1..P-1 (rank 0 runs inline in
+  // run()). The pool mutex/condvar are touched once per run() dispatch and
+  // completion, never per barrier.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;  ///< signals a new run (or shutdown)
+  std::condition_variable done_cv_;  ///< signals all workers finished
+  const std::function<void(Process&)>* body_ = nullptr;
+  u64 run_generation_ = 0;
+  int running_ = 0;
+  bool stop_ = false;
 
   friend class Process;
 };
@@ -168,18 +264,33 @@ class Process {
     return v.front();
   }
 
-  /// Raw synchronization barrier with no clock charge (building block for
-  /// the collectives; user code should call collectives::barrier instead).
+  /// Raw synchronization phase with no clock effect (building block for the
+  /// collectives' read-done fences; user code should call
+  /// collectives::barrier instead).
   void barrier_sync_only() {
     ++stats_.barriers;
-    machine_->barrier_wait();
+    (void)machine_->barrier_reduce_max(rank_, 0.0);
   }
+
+  /// Fused synchronization phase: publishes this rank's virtual clock into
+  /// the barrier's reduction and returns the global maximum — the BSP
+  /// "equalize entering clocks" step in a single combining pass.
+  [[nodiscard]] f64 barrier_clock_max() {
+    ++stats_.barriers;
+    return machine_->barrier_reduce_max(rank_, clock_.now_us());
+  }
+
+  /// Collective sequence number, advanced once per blackboard collective.
+  /// All ranks execute the same collective sequence (SPMD), so the numbers
+  /// agree machine-wide and index the parity double-buffered slots.
+  u64 next_bb_seq() { return bb_seq_++; }
 
  private:
   Machine* machine_;
   int rank_;
   VirtualClock clock_;
   MessageStats stats_;
+  u64 bb_seq_ = 0;
 };
 
 }  // namespace chaos::rt

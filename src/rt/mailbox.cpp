@@ -2,43 +2,89 @@
 
 namespace chaos::rt {
 
+Mailbox::Mailbox(int nprocs, const std::atomic<bool>& poisoned)
+    : poisoned_(&poisoned) {
+  CHAOS_CHECK(nprocs >= 1, "mailbox needs at least one source slot");
+  slots_.reserve(static_cast<std::size_t>(nprocs));
+  for (int s = 0; s < nprocs; ++s) slots_.push_back(std::make_unique<Slot>());
+}
+
 void Mailbox::put(RawMessage msg) {
+  CHAOS_CHECK(msg.source >= 0 &&
+                  msg.source < static_cast<int>(slots_.size()),
+              "mailbox put: bad source rank");
+  Slot& slot = *slots_[static_cast<std::size_t>(msg.source)];
   {
-    std::lock_guard lock(mutex_);
-    queues_[{msg.source, msg.tag}].push_back(std::move(msg));
+    std::lock_guard lock(slot.mutex);
+    slot.queues[msg.tag].push_back(std::move(msg));
   }
-  cv_.notify_all();
+  // The owner is the only thread that ever waits on this mailbox, so one
+  // wakeup suffices; unrelated receives on other sources are untouched.
+  slot.cv.notify_one();
 }
 
 RawMessage Mailbox::take(int source, int tag) {
-  std::unique_lock lock(mutex_);
-  const Key key{source, tag};
-  cv_.wait(lock, [&] {
-    auto it = queues_.find(key);
-    return it != queues_.end() && !it->second.empty();
-  });
-  auto it = queues_.find(key);
-  RawMessage msg = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) queues_.erase(it);
+  CHAOS_CHECK(source >= 0 && source < static_cast<int>(slots_.size()),
+              "mailbox take: bad source rank");
+  Slot& slot = *slots_[static_cast<std::size_t>(source)];
+  std::unique_lock lock(slot.mutex);
+  auto matched = [&]() -> std::deque<RawMessage>* {
+    auto it = slot.queues.find(tag);
+    return it != slot.queues.end() && !it->second.empty() ? &it->second
+                                                         : nullptr;
+  };
+  std::deque<RawMessage>* q = nullptr;
+  while ((q = matched()) == nullptr) {
+    if (poisoned_->load(std::memory_order_acquire)) {
+      throw MachinePoisoned(
+          "machine poisoned: a sibling rank threw while this rank was "
+          "blocked in recv");
+    }
+    slot.cv.wait(lock);
+  }
+  RawMessage msg = std::move(q->front());
+  q->pop_front();
+  if (q->empty()) slot.queues.erase(tag);
   return msg;
 }
 
 bool Mailbox::try_take(int source, int tag, RawMessage& out) {
-  std::lock_guard lock(mutex_);
-  auto it = queues_.find({source, tag});
-  if (it == queues_.end() || it->second.empty()) return false;
+  CHAOS_CHECK(source >= 0 && source < static_cast<int>(slots_.size()),
+              "mailbox try_take: bad source rank");
+  Slot& slot = *slots_[static_cast<std::size_t>(source)];
+  std::lock_guard lock(slot.mutex);
+  auto it = slot.queues.find(tag);
+  if (it == slot.queues.end() || it->second.empty()) return false;
   out = std::move(it->second.front());
   it->second.pop_front();
-  if (it->second.empty()) queues_.erase(it);
+  if (it->second.empty()) slot.queues.erase(it);
   return true;
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard lock(mutex_);
   std::size_t n = 0;
-  for (const auto& [key, q] : queues_) n += q.size();
+  for (const auto& slot : slots_) {
+    std::lock_guard lock(slot->mutex);
+    for (const auto& [tag, q] : slot->queues) n += q.size();
+  }
   return n;
+}
+
+void Mailbox::poison_wake() {
+  // Lock each slot so the wakeup cannot slip between a waiter's poison
+  // check and its wait(): the flag store (already published by the caller)
+  // is observed on the next iteration of every take() loop.
+  for (const auto& slot : slots_) {
+    std::lock_guard lock(slot->mutex);
+    slot->cv.notify_all();
+  }
+}
+
+void Mailbox::clear() {
+  for (const auto& slot : slots_) {
+    std::lock_guard lock(slot->mutex);
+    slot->queues.clear();
+  }
 }
 
 }  // namespace chaos::rt

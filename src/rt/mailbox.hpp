@@ -1,15 +1,24 @@
 // Point-to-point message queues backing the virtual distributed machine.
-// One Mailbox per logical process; senders deposit, the owner blocks on
-// (source, tag) matched receives. Per-(source, tag) FIFO order is preserved,
-// which makes message matching deterministic for deterministic senders.
+// One Mailbox per logical process, sharded into one slot per source rank:
+// a sender only ever locks its own slot of the destination mailbox, so
+// concurrent puts from different sources never contend, and a wakeup only
+// reaches the receiver when its matched source actually delivered.
+// Per-(source, tag) FIFO order is preserved, which makes message matching
+// deterministic for deterministic senders.
+//
+// Poison protocol: the owning Machine points every mailbox at its poisoned
+// flag. When a sibling rank throws, the machine sets the flag and calls
+// poison_wake(); any receiver blocked in take() is released with
+// MachinePoisoned instead of waiting for a message that will never come.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <utility>
 #include <vector>
 
 #include "rt/types.hpp"
@@ -26,14 +35,21 @@ struct RawMessage {
   std::vector<std::byte> payload;
 };
 
-/// Thread-safe matched-receive queue for one logical process.
+/// Thread-safe matched-receive queue for one logical process, sharded by
+/// source rank.
 class Mailbox {
  public:
-  /// Deposits a message; wakes any receiver blocked on its (source, tag).
+  /// @p poisoned is the owning machine's poison flag; take() rechecks it on
+  /// every wakeup so a poisoned machine cannot leave a receiver blocked.
+  Mailbox(int nprocs, const std::atomic<bool>& poisoned);
+
+  /// Deposits a message; wakes a receiver blocked on its source slot. Only
+  /// the slot of msg.source is locked.
   void put(RawMessage msg);
 
   /// Blocks until a message from @p source with @p tag is available and
-  /// removes it from the queue.
+  /// removes it from the queue. Throws MachinePoisoned if a sibling rank
+  /// failed while we were (or would be) waiting.
   RawMessage take(int source, int tag);
 
   /// Non-blocking variant; returns false if no matching message is queued.
@@ -42,12 +58,21 @@ class Mailbox {
   /// Number of queued messages across all (source, tag) keys.
   [[nodiscard]] std::size_t pending() const;
 
- private:
-  using Key = std::pair<int, int>;  // (source, tag)
+  /// Wakes every blocked receiver so it can observe the poison flag.
+  void poison_wake();
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<Key, std::deque<RawMessage>> queues_;
+  /// Drops all queued messages (between two runs of a reused Machine).
+  void clear();
+
+ private:
+  struct Slot {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::map<int, std::deque<RawMessage>> queues;  // tag -> FIFO
+  };
+
+  std::vector<std::unique_ptr<Slot>> slots_;  // one per source rank
+  const std::atomic<bool>* poisoned_;
 };
 
 }  // namespace chaos::rt

@@ -24,6 +24,15 @@ class ChaosError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown out of blocked barrier and mailbox waits when a sibling logical
+/// process of the same Machine has thrown: instead of deadlocking, every
+/// waiter is released with this error and Machine::run rethrows the
+/// sibling's original exception.
+class MachinePoisoned : public ChaosError {
+ public:
+  using ChaosError::ChaosError;
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const std::string& msg,
                                       const std::source_location& loc) {

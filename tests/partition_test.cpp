@@ -176,6 +176,46 @@ TEST(Partitioners, WeightedRcbBalancesLoadNotCounts) {
   });
 }
 
+TEST(Partitioners, RcbSplitsTiedCoordinatesEvenly) {
+  // Regression: the weighted-median bisection had no tie-splitting, so a
+  // point cloud where most coordinates coincide put the whole tie cluster
+  // on one side of every cut — arbitrarily unbalanced parts. Ties must be
+  // split deterministically by global id to hit the weight target.
+  constexpr i64 n = 400;
+  constexpr int k = 4;
+  rt::Machine::run(4, [](rt::Process& p) {
+    auto vdist = dist::Distribution::block(p, n);
+    std::vector<f64> xs, ys;
+    for (i64 l = 0; l < vdist->my_local_size(); ++l) {
+      const i64 g = vdist->global_of(p.rank(), l);
+      if (g % 5 < 3) {
+        // 60% of all points at one exact location.
+        xs.push_back(0.25);
+        ys.push_back(0.5);
+      } else {
+        xs.push_back(static_cast<f64>(g % 17) / 17.0);
+        ys.push_back(static_cast<f64>(g % 23) / 23.0);
+      }
+    }
+    core::GeoColBuilder b(p, vdist);
+    const std::span<const f64> coords[] = {xs, ys};
+    b.geometry(coords);
+    auto g = b.build();
+    auto parts = part::partition_rcb(p, g->view(), k);
+
+    std::vector<f64> weight(k, 0.0);
+    for (i64 pt : parts) weight[static_cast<std::size_t>(pt)] += 1.0;
+    weight = rt::allreduce_vec(p, weight, std::plus<>{});
+    f64 total = 0.0, max_w = 0.0;
+    for (f64 w : weight) {
+      total += w;
+      max_w = std::max(max_w, w);
+    }
+    EXPECT_DOUBLE_EQ(total, static_cast<f64>(n));
+    EXPECT_LE(max_w / (total / k), 1.05);
+  });
+}
+
 TEST(Partitioners, RegistrySupportsCustomPartitioners) {
   // The paper: "the user can link a customized partitioner as long as the
   // calling sequence matches".

@@ -143,6 +143,91 @@ TEST(Machine, ExceptionInOneRankPropagatesAndReleasesOthers) {
       chaos::ChaosError);
 }
 
+TEST(Machine, ThrowingRankReleasesPeerBlockedInRecv) {
+  // Regression: poison used to release only the barrier, so a peer blocked
+  // in Mailbox::take (recv of a message that will never be sent) hung
+  // forever. The mailbox condvars must be poisoned too, and the blocked
+  // receiver must come back with MachinePoisoned.
+  std::atomic<bool> receiver_poisoned{false};
+  EXPECT_THROW(
+      rt::Machine::run(2,
+                       [&](rt::Process& p) {
+                         if (p.rank() == 1) throw chaos::ChaosError("boom");
+                         try {
+                           (void)p.recv<int>(1, /*tag=*/0);
+                         } catch (const chaos::MachinePoisoned&) {
+                           receiver_poisoned = true;
+                           throw;
+                         }
+                       }),
+      chaos::ChaosError);
+  EXPECT_TRUE(receiver_poisoned.load());
+}
+
+TEST(Machine, BackToBackRunsResetStatsClocksAndMailboxes) {
+  rt::Machine machine(2);
+  machine.run([](rt::Process& p) {
+    if (p.rank() == 0) {
+      p.send_value<int>(1, 0, 11);
+    } else {
+      EXPECT_EQ(p.recv_value<int>(0, 0), 11);
+    }
+  });
+  EXPECT_EQ(machine.total_stats().messages_sent, 1);
+  EXPECT_GT(machine.max_virtual_time_us(), 0.0);
+
+  // An empty second run must start from scratch: no carried-over stats,
+  // clocks, or queued messages.
+  machine.run([](rt::Process& p) {
+    EXPECT_EQ(p.stats().messages_sent, 0);
+    EXPECT_EQ(p.machine().mailbox(p.rank()).pending(), 0u);
+    EXPECT_DOUBLE_EQ(p.clock().now_us(), 0.0);
+  });
+  EXPECT_EQ(machine.total_stats().messages_sent, 0);
+  EXPECT_EQ(machine.total_stats().barriers, 0);
+  EXPECT_DOUBLE_EQ(machine.max_virtual_time_us(), 0.0);
+}
+
+TEST(Machine, ReusableAfterPoisonedRun) {
+  rt::Machine machine(4);
+  EXPECT_THROW(machine.run([](rt::Process& p) {
+    // Rank 0 parks a message nobody consumes; rank 1 blocks on a receive
+    // that never arrives; rank 3 fails. Poison must release everyone and
+    // the next run must see a clean machine.
+    if (p.rank() == 0) p.send_value<int>(2, /*tag=*/9, 1);
+    if (p.rank() == 1) (void)p.recv<int>(3, /*tag=*/7);
+    if (p.rank() == 3) throw chaos::ChaosError("boom");
+    p.barrier_sync_only();
+  }),
+               chaos::ChaosError);
+
+  machine.run([](rt::Process& p) {
+    EXPECT_EQ(p.machine().mailbox(p.rank()).pending(), 0u);
+    const auto sum = rt::allreduce_sum(p, i64{p.rank() + 1});
+    EXPECT_EQ(sum, 10);
+  });
+  EXPECT_EQ(machine.total_stats().messages_sent, 0);
+}
+
+TEST(Machine, BarrierOrdersPlainWritesAcrossRanks) {
+  // The combining barrier is the machine's memory fence: plain writes
+  // published before a phase must be visible to every rank after it, for
+  // many back-to-back phases (exercises the epoch/parity reuse protocol).
+  constexpr int P = 16;
+  constexpr int kRounds = 200;
+  std::vector<int> shared(P, -1);
+  rt::Machine::run(P, [&](rt::Process& p) {
+    for (int round = 0; round < kRounds; ++round) {
+      shared[static_cast<std::size_t>(p.rank())] = round;
+      p.barrier_sync_only();
+      for (int r = 0; r < P; ++r) {
+        ASSERT_EQ(shared[static_cast<std::size_t>(r)], round);
+      }
+      p.barrier_sync_only();
+    }
+  });
+}
+
 TEST(Machine, MachineReusableAfterRun) {
   rt::Machine machine(3);
   for (int round = 0; round < 3; ++round) {
