@@ -141,7 +141,9 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
       {
         rt::ClockSection t(p.clock());
         const std::span<const i64> remapped[] = {plan.end1, plan.end2};
-        plan.loc = core::localize_many(p, *data_dist, remapped);
+        // Workspace overload: when reuse is off and the plan is rebuilt
+        // every iteration, the re-localize runs through warm buffers.
+        core::localize_many(p, *data_dist, remapped, plan.iws, plan.loc);
         t_insp += t.elapsed_sec();
       }
     };

@@ -17,9 +17,10 @@ std::shared_ptr<EdgeLoopPlan> EdgeReductionLoop::inspect(
   plan->end1 = dist::apply_remap<i64>(p, plan->iters.remap, ept1);
   plan->end2 = dist::apply_remap<i64>(p, plan->iters.remap, ept2);
 
-  // Phase D: localize (translate + dedup + schedule).
+  // Phase D: localize (dedup + translate + schedule) through the plan's
+  // workspace.
   const std::span<const i64> remapped[] = {plan->end1, plan->end2};
-  plan->loc = localize_many(p, data_dist, remapped);
+  localize_many(p, data_dist, remapped, plan->iws, plan->loc);
   return plan;
 }
 
@@ -41,9 +42,9 @@ std::shared_ptr<SingleStatementPlan> SingleStatementLoop::inspect(
   plan->ib = dist::apply_remap<i64>(p, plan->iters.remap, ib);
   plan->ic = dist::apply_remap<i64>(p, plan->iters.remap, ic);
 
-  plan->lhs = localize(p, y_dist, plan->ia);
+  localize(p, y_dist, plan->ia, plan->lhs_iws, plan->lhs);
   const std::span<const i64> rhs[] = {plan->ib, plan->ic};
-  plan->rhs = localize_many(p, x_dist, rhs);
+  localize_many(p, x_dist, rhs, plan->iws, plan->rhs);
   return plan;
 }
 

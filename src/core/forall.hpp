@@ -36,6 +36,11 @@ struct EdgeLoopPlan {
   /// repeated execute() calls through this plan allocate nothing. Mutable:
   /// scratch identity, not part of the plan's logical state.
   mutable ExecutorWorkspace<f64> ws;
+  /// Inspector staging (dedup table, distinct arena, request CSR). Callers
+  /// that rebuild a plan in place — the no-reuse pipelines re-running the
+  /// inspector every sweep — re-localize through warm buffers; attach a
+  /// dist::TranslationCache to also skip warm locate rounds.
+  InspectorWorkspace iws;
 
   [[nodiscard]] i64 my_iterations() const {
     return static_cast<i64>(end1.size());
@@ -99,6 +104,12 @@ struct SingleStatementPlan {
   /// schedule; buffers grow to the larger one once), so repeated execute()
   /// calls allocate nothing.
   mutable ExecutorWorkspace<f64> ws;
+  /// Inspector staging — one workspace per localized distribution (rhs
+  /// against x, lhs against y), so a translation cache attached to either
+  /// stays bound to exactly one DAD even when x and y are distributed
+  /// differently.
+  InspectorWorkspace iws;
+  InspectorWorkspace lhs_iws;
 
   [[nodiscard]] i64 my_iterations() const {
     return static_cast<i64>(ia.size());

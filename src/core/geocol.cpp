@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/inspector.hpp"
 #include "rt/collectives.hpp"
 
 namespace chaos::core {
@@ -82,25 +83,25 @@ std::shared_ptr<const GeoCol> GeoColBuilder::build() {
     }
     const auto owners = g_->vdist_->locate(p, endpoints);
 
-    // Route each half-edge to its endpoint's owner in the flat CSR shape
-    // the executor schedules use: count per destination, prefix, fill one
-    // flat buffer, then a counts exchange plus one flat payload exchange —
-    // exact allocations, no per-destination heap blocks.
+    // Route each half-edge to its endpoint's owner: count per destination,
+    // prefix, fill one destination-ordered flat buffer, then hand the CSR to
+    // the inspector's shared exchange_csr — the same counts + flat-payload
+    // exchange that forms communication schedules, so graph assembly and
+    // localize stay on one exchange code path.
     const auto np = static_cast<std::size_t>(p.nprocs());
-    std::vector<i64> send_counts(np, 0);
+    std::vector<i64> send_offsets(np + 1, 0);
     for (i64 e = 0; e < local_edges; ++e) {
       if (edge_u_[static_cast<std::size_t>(e)] ==
           edge_v_[static_cast<std::size_t>(e)]) {
         continue;  // drop self-loops
       }
-      ++send_counts[static_cast<std::size_t>(
-          owners[static_cast<std::size_t>(2 * e)].proc)];
-      ++send_counts[static_cast<std::size_t>(
-          owners[static_cast<std::size_t>(2 * e + 1)].proc)];
+      ++send_offsets[static_cast<std::size_t>(
+          owners[static_cast<std::size_t>(2 * e)].proc) + 1];
+      ++send_offsets[static_cast<std::size_t>(
+          owners[static_cast<std::size_t>(2 * e + 1)].proc) + 1];
     }
-    std::vector<i64> send_offsets(np + 1, 0);
     for (std::size_t r = 0; r < np; ++r) {
-      send_offsets[r + 1] = send_offsets[r] + send_counts[r];
+      send_offsets[r + 1] += send_offsets[r];
     }
     std::vector<HalfEdge> send_buf(
         static_cast<std::size_t>(send_offsets[np]));
@@ -116,16 +117,11 @@ std::shared_ptr<const GeoCol> GeoColBuilder::build() {
       send_buf[static_cast<std::size_t>(cursor[ou]++)] = HalfEdge{u, v};
       send_buf[static_cast<std::size_t>(cursor[ov]++)] = HalfEdge{v, u};
     }
-    std::vector<i64> recv_counts(np);
-    rt::alltoall<i64>(p, send_counts, recv_counts);
-    std::vector<i64> recv_offsets(np + 1, 0);
-    for (std::size_t r = 0; r < np; ++r) {
-      recv_offsets[r + 1] = recv_offsets[r] + recv_counts[r];
-    }
-    std::vector<HalfEdge> incoming(
-        static_cast<std::size_t>(recv_offsets[np]));
-    rt::alltoallv_flat<HalfEdge>(p, send_buf, send_offsets, incoming,
-                                 recv_offsets);
+    std::vector<HalfEdge> incoming;
+    std::vector<i64> recv_offsets;
+    std::vector<i64> counts_scratch;
+    exchange_csr<HalfEdge>(p, send_buf, send_offsets, incoming, recv_offsets,
+                           counts_scratch);
 
     // Build per-vertex neighbor lists (dedup via sort+unique).
     const i64 nlocal = g_->vdist_->my_local_size();

@@ -1,149 +1,193 @@
 #include "core/inspector.hpp"
 
-#include <unordered_map>
-
-#include "rt/collectives.hpp"
-
 namespace chaos::core {
 
-namespace {
+namespace detail {
 
-/// Key for the duplicate-removal hash: (owner, remote local index).
-/// splitmix64 finalization — full avalanche, so sequential local indices
-/// (the common case after a remap) spread across buckets instead of
-/// clustering in one probe chain.
-struct PairHash {
-  std::size_t operator()(const std::pair<i32, i64>& k) const {
-    return static_cast<std::size_t>(dist::detail::mix64(
-        (static_cast<u64>(static_cast<u32>(k.first)) << 40) ^
-        static_cast<u64>(k.second)));
-  }
-};
+// The dedup-first pipeline. Outputs (refs, schedule, off_process_refs) and
+// modeled virtual-clock charges are bit-identical to the historical
+// translate-everything-first implementation when no cache is attached; the
+// cached path replaces the saved locate traffic with one scalar allreduce
+// vote, so its (smaller) modeled time reflects communication actually saved.
+void localize_into(rt::Process& p, const dist::Distribution& d,
+                   std::span<const std::span<const i64>> batches,
+                   std::span<std::vector<i64>* const> refs_out,
+                   CommSchedule& schedule, i64& off_process_refs,
+                   InspectorWorkspace& ws) {
+  const auto np = static_cast<std::size_t>(p.nprocs());
+  const auto my_rank = static_cast<i32>(p.rank());
+  const i64 nlocal = d.my_local_size();
 
-LocalizedMany localize_impl(rt::Process& p, const dist::Distribution& d,
-                            std::span<const std::span<const i64>> batches) {
-  LocalizedMany out;
-  out.refs.resize(batches.size());
-
-  // Phase 1: translate every reference (one batched table dereference).
+  // Phase 1: collapse duplicate globals. Batches are walked directly — no
+  // flattening copy for any batch count, single-batch included — and each
+  // position records the distinct ordinal of its global (first-occurrence
+  // order, which keeps every downstream ordering bit-identical to the
+  // translate-first pipeline).
   std::size_t total = 0;
   for (const auto& b : batches) total += b.size();
-  std::vector<i64> flat;
-  flat.reserve(total);
-  for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
-  const auto entries = d.locate(p, flat);
-
-  // Phase 2: split into owned / off-process; hash-dedup the off-process
-  // references and assign each distinct one a per-owner ordinal.
-  const i64 nlocal = d.my_local_size();
-  std::unordered_map<std::pair<i32, i64>, i64, PairHash> ordinal_of;
-  // Sizing both tables to the batch up front removes every rehash/realloc
-  // from the dedup loop (worst case: all references off-process, distinct).
-  ordinal_of.reserve(total);
-  std::vector<std::vector<i64>> requests(static_cast<std::size_t>(p.nprocs()));
-  struct Pending {
-    std::size_t batch;
-    std::size_t pos;
-    i32 owner;
-    i64 ordinal;
-  };
-  std::vector<Pending> pending;
-  pending.reserve(total);
-
+  ws.begin(total);
   std::size_t cursor = 0;
-  for (std::size_t b = 0; b < batches.size(); ++b) {
-    out.refs[b].resize(batches[b].size());
-    for (std::size_t i = 0; i < batches[b].size(); ++i, ++cursor) {
-      const auto& e = entries[cursor];
-      if (e.proc == p.rank()) {
-        out.refs[b][i] = e.local;
-        continue;
-      }
-      ++out.off_process_refs;
-      auto [it, inserted] = ordinal_of.try_emplace(
-          {e.proc, e.local},
-          static_cast<i64>(requests[static_cast<std::size_t>(e.proc)].size()));
-      if (inserted) {
-        requests[static_cast<std::size_t>(e.proc)].push_back(e.local);
-      }
-      pending.push_back(Pending{b, i, e.proc, it->second});
+  for (const auto& b : batches) {
+    for (const i64 g : b) {
+      ws.pos_ids_[cursor++] = ws.dedup_id(g);
     }
   }
-  // Hash construction + lookups: ~2 memory ops per off-process reference.
-  p.clock().charge_ops(static_cast<i64>(total) +
-                           2 * out.off_process_refs,
+  const i64 distinct = static_cast<i64>(ws.distinct_.size());
+  ws.last_distinct_ = distinct;
+
+  // Phase 2: resolve the distinct globals to (owner, local) entries — ONE
+  // batched table dereference over distinct globals only. With a persistent
+  // cache attached (irregular distributions), cached globals skip the locate
+  // round; a machine-wide vote skips the round entirely when every rank is
+  // fully warm.
+  dist::TranslationCache* cache =
+      (ws.cache_ != nullptr && d.kind() == dist::DistKind::Irregular)
+          ? ws.cache_
+          : nullptr;
+  if (cache != nullptr) {
+    if (!cache->bound()) {
+      // Stamp 0 = "never modified"; callers tracking a ReuseRegistry bind
+      // explicitly with reg.last_mod(dad) instead.
+      cache->bind(d.dad(), 0);
+    }
+    CHAOS_CHECK(cache->accepts(d.dad()),
+                "inspector: translation cache is bound to a different "
+                "distribution instance — rebind after REDISTRIBUTE");
+    ws.entries_.resize(static_cast<std::size_t>(distinct));
+    ws.miss_ids_.clear();
+    ws.miss_globals_.clear();
+    for (i64 k = 0; k < distinct; ++k) {
+      const i64 g = ws.distinct_[static_cast<std::size_t>(k)];
+      if (!cache->try_get(g, ws.entries_[static_cast<std::size_t>(k)])) {
+        ws.miss_ids_.push_back(k);
+        ws.miss_globals_.push_back(g);
+      }
+    }
+    const auto nmiss = static_cast<i64>(ws.miss_ids_.size());
+    p.stats().tcache_hits += distinct - nmiss;
+    p.stats().tcache_misses += nmiss;
+    // One probe per distinct global.
+    p.clock().charge_ops(distinct, p.params().mem_us_per_word);
+    if (rt::allreduce_sum(p, nmiss) > 0) {
+      d.locate_into(p, ws.miss_globals_, ws.miss_entries_);
+      for (std::size_t j = 0; j < ws.miss_ids_.size(); ++j) {
+        const auto k = static_cast<std::size_t>(ws.miss_ids_[j]);
+        ws.entries_[k] = ws.miss_entries_[j];
+        cache->put(ws.distinct_[k], ws.miss_entries_[j]);
+      }
+    }
+  } else {
+    // Model compensation: the translate-first pipeline dereferenced every
+    // reference, duplicates included. The collapsed duplicates ride the
+    // locate's own (single, fused) clock charge, so modeled times stay
+    // bit-identical — same integer operand, same one rounding step — while
+    // the host does ~1/multiplicity of the work.
+    d.locate_into(p, ws.distinct_, ws.entries_,
+                  static_cast<i64>(total) - distinct);
+  }
+
+  // Phase 3: ghost slots are per-owner contiguous, owners ascending, within
+  // an owner in first-occurrence order — so counting distinct off-process
+  // entries per owner and prefixing them yields the schedule's receive-side
+  // CSR, and one stable cursor pass assigns slots AND fills the flat request
+  // list in place.
+  schedule.recv_offsets.resize(np + 1);
+  std::fill(schedule.recv_offsets.begin(), schedule.recv_offsets.end(), 0);
+  for (i64 k = 0; k < distinct; ++k) {
+    const auto& e = ws.entries_[static_cast<std::size_t>(k)];
+    if (e.proc != my_rank) {
+      ++schedule.recv_offsets[static_cast<std::size_t>(e.proc) + 1];
+    }
+  }
+  for (std::size_t r = 0; r < np; ++r) {
+    schedule.recv_offsets[r + 1] += schedule.recv_offsets[r];
+  }
+  const i64 total_ghost = schedule.recv_offsets[np];
+  ws.owner_cursor_.resize(np);
+  std::copy(schedule.recv_offsets.begin(), schedule.recv_offsets.end() - 1,
+            ws.owner_cursor_.begin());
+  ws.req_local_.resize(static_cast<std::size_t>(total_ghost));
+  ws.loc_val_.resize(static_cast<std::size_t>(distinct));
+  for (i64 k = 0; k < distinct; ++k) {
+    const auto& e = ws.entries_[static_cast<std::size_t>(k)];
+    if (e.proc == my_rank) {
+      ws.loc_val_[static_cast<std::size_t>(k)] = e.local;
+    } else {
+      const i64 slot = ws.owner_cursor_[static_cast<std::size_t>(e.proc)]++;
+      ws.loc_val_[static_cast<std::size_t>(k)] = nlocal + slot;
+      ws.req_local_[static_cast<std::size_t>(slot)] = e.local;
+    }
+  }
+
+  // Phase 4: write every batch's localized references through the distinct
+  // ordinals, counting off-process references with multiplicity (a ghost
+  // value is >= nlocal by construction).
+  off_process_refs = 0;
+  cursor = 0;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    std::vector<i64>& refs = *refs_out[b];
+    refs.resize(batches[b].size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const i64 v =
+          ws.loc_val_[static_cast<std::size_t>(ws.pos_ids_[cursor++])];
+      refs[i] = v;
+      off_process_refs += static_cast<i64>(v >= nlocal);
+    }
+  }
+  // Hash construction + lookups: ~2 memory ops per off-process reference,
+  // plus one translate touch per reference — the historical dedup model.
+  p.clock().charge_ops(static_cast<i64>(total) + 2 * off_process_refs,
                        p.params().mem_us_per_word);
 
-  // Phase 3: ghost slots are per-owner contiguous, owners ascending — the
-  // prefix over my request counts IS the schedule's receive-side CSR.
-  std::vector<i64> recv_offsets(static_cast<std::size_t>(p.nprocs()) + 1, 0);
-  for (int r = 0; r < p.nprocs(); ++r) {
-    recv_offsets[static_cast<std::size_t>(r) + 1] =
-        recv_offsets[static_cast<std::size_t>(r)] +
-        static_cast<i64>(requests[static_cast<std::size_t>(r)].size());
-  }
-  for (const auto& pe : pending) {
-    out.refs[pe.batch][pe.pos] =
-        nlocal + recv_offsets[static_cast<std::size_t>(pe.owner)] + pe.ordinal;
-  }
-
-  // Phase 4: exchange request lists; what arrives is my send side, built
-  // directly in CSR form with exact pre-sized allocations. First a counts
-  // exchange fixes the send-side prefix, then one flat exchange fills the
-  // flat index array — no nested vectors anywhere.
-  std::vector<i64> req_counts(static_cast<std::size_t>(p.nprocs()));
-  for (int r = 0; r < p.nprocs(); ++r) {
-    req_counts[static_cast<std::size_t>(r)] =
-        recv_offsets[static_cast<std::size_t>(r) + 1] -
-        recv_offsets[static_cast<std::size_t>(r)];
-  }
-  std::vector<i64> send_counts(static_cast<std::size_t>(p.nprocs()));
-  rt::alltoall<i64>(p, req_counts, send_counts);
-
-  std::vector<i64> send_offsets(static_cast<std::size_t>(p.nprocs()) + 1, 0);
-  for (int r = 0; r < p.nprocs(); ++r) {
-    send_offsets[static_cast<std::size_t>(r) + 1] =
-        send_offsets[static_cast<std::size_t>(r)] +
-        send_counts[static_cast<std::size_t>(r)];
-  }
-
-  const i64 total_ghost = recv_offsets[static_cast<std::size_t>(p.nprocs())];
-  std::vector<i64> flat_requests;
-  flat_requests.reserve(static_cast<std::size_t>(total_ghost));
-  for (const auto& r : requests) {
-    flat_requests.insert(flat_requests.end(), r.begin(), r.end());
-  }
-  std::vector<i64> send_indices(static_cast<std::size_t>(
-      send_offsets[static_cast<std::size_t>(p.nprocs())]));
-  rt::alltoallv_flat<i64>(p, flat_requests, recv_offsets, send_indices,
-                          send_offsets);
-
-  out.schedule.send_indices = std::move(send_indices);
-  out.schedule.send_offsets = std::move(send_offsets);
-  out.schedule.recv_offsets = std::move(recv_offsets);
-  out.schedule.nghost = total_ghost;
-  out.schedule.nlocal_at_build = nlocal;
-  CHAOS_CHECK(out.schedule.validate(),
+  // Phase 5: exchange request lists; what arrives is my send side, built
+  // directly in CSR form through the shared exchange (counts alltoall + one
+  // flat payload alltoallv — no nested vectors anywhere).
+  exchange_csr<i64>(p, ws.req_local_, schedule.recv_offsets,
+                    schedule.send_indices, schedule.send_offsets,
+                    ws.counts_scratch_);
+  schedule.nghost = total_ghost;
+  schedule.nlocal_at_build = nlocal;
+  CHAOS_CHECK(schedule.validate(),
               "inspector: peer requested an element I do not own");
-  return out;
 }
 
-}  // namespace
+}  // namespace detail
 
 Localized localize(rt::Process& p, const dist::Distribution& d,
                    std::span<const i64> global_refs) {
-  const std::span<const i64> one[] = {global_refs};
-  auto many = localize_impl(p, d, one);
+  InspectorWorkspace ws;
   Localized out;
-  out.refs = std::move(many.refs[0]);
-  out.schedule = std::move(many.schedule);
-  out.off_process_refs = many.off_process_refs;
+  localize(p, d, global_refs, ws, out);
   return out;
 }
 
 LocalizedMany localize_many(rt::Process& p, const dist::Distribution& d,
                             std::span<const std::span<const i64>> batches) {
-  return localize_impl(p, d, batches);
+  InspectorWorkspace ws;
+  LocalizedMany out;
+  localize_many(p, d, batches, ws, out);
+  return out;
+}
+
+void localize(rt::Process& p, const dist::Distribution& d,
+              std::span<const i64> global_refs, InspectorWorkspace& ws,
+              Localized& out) {
+  const std::span<const i64> one[] = {global_refs};
+  std::vector<i64>* const refs_out[] = {&out.refs};
+  detail::localize_into(p, d, one, refs_out, out.schedule,
+                        out.off_process_refs, ws);
+}
+
+void localize_many(rt::Process& p, const dist::Distribution& d,
+                   std::span<const std::span<const i64>> batches,
+                   InspectorWorkspace& ws, LocalizedMany& out) {
+  out.refs.resize(batches.size());
+  ws.refs_ptrs_.resize(batches.size());
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    ws.refs_ptrs_[b] = &out.refs[b];
+  }
+  detail::localize_into(p, d, batches, ws.refs_ptrs_, out.schedule,
+                        out.off_process_refs, ws);
 }
 
 }  // namespace chaos::core

@@ -1,7 +1,19 @@
-// The inspector's "localize" step (Phase D of Figure 2): translate global
-// references through the distribution, remove duplicate off-process
-// references with a hash table, assign ghost-buffer slots, and exchange
-// request lists to form the communication schedule.
+// The inspector's "localize" step (Phase D of Figure 2), rebuilt dedup-first:
+// duplicate *global* references are collapsed through a flat open-addressing
+// table BEFORE the distribution locate, so the translation table only ever
+// sees each distinct global once (mesh indirection arrays reference each node
+// ~6.7x — that factor comes straight off the locate query volume). The
+// distinct entries are then split owned/off-process, ghost slots assigned
+// per-owner in first-occurrence order, and request lists exchanged to form
+// the communication schedule. Outputs are bit-identical to the historical
+// translate-everything-first pipeline; only the work to produce them changed.
+//
+// All scratch lives in a reusable InspectorWorkspace (the inspector-side
+// sibling of ExecutorWorkspace): buffers grow monotonically, the dedup table
+// resets by epoch tag, and the workspace overloads below write into
+// caller-owned results — so a re-run inspector performs zero heap
+// allocations after warmup (for IRREGULAR distributions this additionally
+// needs a warm TranslationCache to keep the locate round miss-free).
 #pragma once
 
 #include <span>
@@ -9,6 +21,8 @@
 
 #include "core/schedule.hpp"
 #include "dist/distribution.hpp"
+#include "dist/translation_cache.hpp"
+#include "rt/collectives.hpp"
 #include "rt/machine.hpp"
 
 namespace chaos::core {
@@ -22,22 +36,171 @@ struct Localized {
   i64 off_process_refs = 0;  ///< before duplicate removal
 };
 
-/// Collective. Localizes @p global_refs (indices into an array distributed
-/// by @p d). All processes must call together; lists may differ in length.
-[[nodiscard]] Localized localize(rt::Process& p, const dist::Distribution& d,
-                                 std::span<const i64> global_refs);
-
-/// Collective. Localizes several reference batches against the same
-/// distribution with a *shared* duplicate-removal table and one schedule
-/// (CHAOS builds one ghost index space per loop per distribution, shared by
-/// every data array aligned to it). Outputs one refs vector per batch.
+/// Several reference batches localized against the same distribution with a
+/// *shared* duplicate-removal table and one schedule (CHAOS builds one ghost
+/// index space per loop per distribution, shared by every data array aligned
+/// to it). One refs vector per batch.
 struct LocalizedMany {
   std::vector<std::vector<i64>> refs;
   CommSchedule schedule;
   i64 off_process_refs = 0;
 };
+
+class InspectorWorkspace;
+
+namespace detail {
+void localize_into(rt::Process& p, const dist::Distribution& d,
+                   std::span<const std::span<const i64>> batches,
+                   std::span<std::vector<i64>* const> refs_out,
+                   CommSchedule& schedule, i64& off_process_refs,
+                   InspectorWorkspace& ws);
+}  // namespace detail
+
+/// Reusable inspector scratch: the dedup table, the distinct-reference
+/// arena, per-owner request staging, and (optionally) a handle to a
+/// persistent translation cache. One workspace serves any number of
+/// sequential localize calls; plans own one per loop.
+class InspectorWorkspace {
+ public:
+  /// Attaches a persistent translation cache (nullptr detaches). SPMD
+  /// discipline: every rank of the machine must attach a cache or none —
+  /// the cached path adds one collective vote per localize. The cache only
+  /// engages for IRREGULAR distributions (regular locates are closed-form
+  /// arithmetic and need no caching); it must be unbound or bound to the
+  /// localized distribution's DAD, otherwise localize throws (stale binding
+  /// after a REDISTRIBUTE is an error, never a silent stale hit). A cache
+  /// therefore serves ONE distribution instance: use one workspace per
+  /// localized distribution when attaching caches (as the loop plans do);
+  /// a cache-free workspace can serve any mix of distributions.
+  void attach_cache(dist::TranslationCache* cache) { cache_ = cache; }
+  [[nodiscard]] dist::TranslationCache* cache() const { return cache_; }
+
+  /// Reference counts of the most recent localize through this workspace
+  /// (the bench layer checks locate volume against these).
+  [[nodiscard]] i64 last_total_refs() const { return last_total_; }
+  [[nodiscard]] i64 last_distinct_refs() const { return last_distinct_; }
+
+ private:
+  friend void detail::localize_into(rt::Process&, const dist::Distribution&,
+                                    std::span<const std::span<const i64>>,
+                                    std::span<std::vector<i64>* const>,
+                                    CommSchedule&, i64&, InspectorWorkspace&);
+  friend void localize_many(rt::Process&, const dist::Distribution&,
+                            std::span<const std::span<const i64>>,
+                            InspectorWorkspace&, LocalizedMany&);
+
+  /// Starts a localize over @p total references: bumps the dedup epoch and
+  /// (re)sizes the table to load factor <= 1/2. Allocates only on growth.
+  void begin(std::size_t total) {
+    std::size_t cap = slot_key_.size();
+    if (cap < 2 * total || cap == 0) {
+      cap = 16;
+      while (cap < 2 * total) cap <<= 1;
+      slot_key_.resize(cap);
+      slot_id_.resize(cap);
+      slot_epoch_.resize(cap, 0);
+    }
+    mask_ = cap - 1;
+    ++epoch_;
+    distinct_.clear();
+    distinct_.reserve(total);
+    pos_ids_.resize(total);
+    last_total_ = static_cast<i64>(total);
+    last_distinct_ = 0;
+  }
+
+  /// Distinct ordinal of global @p g, minting one (first-occurrence order)
+  /// on the first sighting this epoch.
+  [[nodiscard]] i64 dedup_id(i64 g) {
+    std::size_t s =
+        static_cast<std::size_t>(dist::detail::mix64(static_cast<u64>(g))) &
+        mask_;
+    while (true) {
+      if (slot_epoch_[s] != epoch_) {
+        slot_epoch_[s] = epoch_;
+        slot_key_[s] = g;
+        const i64 id = static_cast<i64>(distinct_.size());
+        slot_id_[s] = id;
+        distinct_.push_back(g);
+        return id;
+      }
+      if (slot_key_[s] == g) return slot_id_[s];
+      s = (s + 1) & mask_;
+    }
+  }
+
+  // Dedup table: open addressing, splitmix64 probing, epoch-tagged slots so
+  // a reset is one counter bump instead of an O(capacity) clear.
+  std::vector<i64> slot_key_;
+  std::vector<i64> slot_id_;
+  std::vector<u64> slot_epoch_;
+  std::size_t mask_ = 0;
+  u64 epoch_ = 0;
+
+  std::vector<i64> pos_ids_;    ///< distinct ordinal per reference position
+  std::vector<i64> distinct_;   ///< distinct globals, first-occurrence order
+  std::vector<dist::Entry> entries_;  ///< resolved entry per distinct global
+  std::vector<i64> loc_val_;    ///< localized index per distinct global
+  std::vector<i64> miss_ids_;   ///< cache misses: ordinal into distinct_
+  std::vector<i64> miss_globals_;
+  std::vector<dist::Entry> miss_entries_;
+  std::vector<i64> owner_cursor_;   ///< P: next request slot per owner
+  std::vector<i64> req_local_;      ///< flat per-owner request CSR values
+  std::vector<i64> counts_scratch_; ///< 2P: exchange_csr count staging
+  std::vector<std::vector<i64>*> refs_ptrs_;  ///< localize_many staging
+
+  dist::TranslationCache* cache_ = nullptr;
+  i64 last_total_ = 0;
+  i64 last_distinct_ = 0;
+};
+
+/// Collective. Localizes @p global_refs (indices into an array distributed
+/// by @p d). All processes must call together; lists may differ in length.
+[[nodiscard]] Localized localize(rt::Process& p, const dist::Distribution& d,
+                                 std::span<const i64> global_refs);
+
 [[nodiscard]] LocalizedMany localize_many(
     rt::Process& p, const dist::Distribution& d,
     std::span<const std::span<const i64>> batches);
+
+/// Workspace overloads: same semantics, but every buffer of @p out is
+/// reused in place — a warm re-localize of same-shaped batches performs
+/// zero heap allocations (see file comment for the IRREGULAR caveat).
+void localize(rt::Process& p, const dist::Distribution& d,
+              std::span<const i64> global_refs, InspectorWorkspace& ws,
+              Localized& out);
+
+void localize_many(rt::Process& p, const dist::Distribution& d,
+                   std::span<const std::span<const i64>> batches,
+                   InspectorWorkspace& ws, LocalizedMany& out);
+
+/// Collective. Exchanges one CSR of trivially-copyable items: a counts
+/// alltoall fixes the receive prefix, then one flat alltoallv moves the
+/// payload. @p recv / @p recv_offsets are resized in place (no allocation
+/// once grown); @p counts_scratch needs no sizing by the caller. This is THE
+/// schedule-forming exchange — localize routes its ghost requests through it
+/// and geocol its half-edges, so there is one inspector exchange
+/// implementation in the tree.
+template <typename T>
+void exchange_csr(rt::Process& p, std::span<const T> send,
+                  std::span<const i64> send_offsets, std::vector<T>& recv,
+                  std::vector<i64>& recv_offsets,
+                  std::vector<i64>& counts_scratch) {
+  const auto np = static_cast<std::size_t>(p.nprocs());
+  counts_scratch.resize(2 * np);
+  const std::span<i64> my_counts(counts_scratch.data(), np);
+  const std::span<i64> peer_counts(counts_scratch.data() + np, np);
+  for (std::size_t r = 0; r < np; ++r) {
+    my_counts[r] = send_offsets[r + 1] - send_offsets[r];
+  }
+  rt::alltoall<i64>(p, my_counts, peer_counts);
+  recv_offsets.resize(np + 1);
+  recv_offsets[0] = 0;
+  for (std::size_t r = 0; r < np; ++r) {
+    recv_offsets[r + 1] = recv_offsets[r] + peer_counts[r];
+  }
+  recv.resize(static_cast<std::size_t>(recv_offsets[np]));
+  rt::alltoallv_flat<T>(p, send, send_offsets, recv, recv_offsets);
+}
 
 }  // namespace chaos::core

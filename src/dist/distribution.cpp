@@ -160,17 +160,26 @@ i64 Distribution::local_index_of(i64 g) const {
 
 std::vector<Entry> Distribution::locate(rt::Process& p,
                                         std::span<const i64> queries) const {
+  std::vector<Entry> out;
+  locate_into(p, queries, out);
+  return out;
+}
+
+void Distribution::locate_into(rt::Process& p, std::span<const i64> queries,
+                               std::vector<Entry>& out,
+                               i64 extra_charged_queries) const {
   if (dad_.kind == DistKind::Irregular) {
-    return table_->dereference(p, queries);
+    out = table_->dereference(p, queries, extra_charged_queries);
+    return;
   }
-  std::vector<Entry> out(queries.size());
+  out.resize(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const i64 g = queries[i];
     out[i] = Entry{static_cast<i32>(owner_of(g)), local_index_of(g)};
   }
-  p.clock().charge_ops(static_cast<i64>(queries.size()),
+  p.clock().charge_ops(static_cast<i64>(queries.size()) +
+                           extra_charged_queries,
                        p.params().mem_us_per_word);
-  return out;
 }
 
 }  // namespace chaos::dist

@@ -71,6 +71,18 @@ class Distribution {
   [[nodiscard]] std::vector<Entry> locate(rt::Process& p,
                                           std::span<const i64> queries) const;
 
+  /// Collective, allocation-aware variant: resolves into @p out (resized in
+  /// place, so a caller reusing one buffer across calls pays zero heap
+  /// allocations for regular kinds; IRREGULAR still allocates inside the
+  /// table dereference). Same answers and identical modeled charges as
+  /// locate(). @p extra_charged_queries is model compensation folded into
+  /// the SAME clock charge as the real queries (one fused charge keeps the
+  /// virtual clock bit-identical to a single locate over queries + extras):
+  /// the dedup-first inspector passes the collapsed duplicates here.
+  void locate_into(rt::Process& p, std::span<const i64> queries,
+                   std::vector<Entry>& out,
+                   i64 extra_charged_queries = 0) const;
+
   /// The backing translation table (IRREGULAR only; nullptr otherwise).
   [[nodiscard]] const TranslationTable* table() const { return table_.get(); }
 

@@ -1,0 +1,89 @@
+#include "dist/translation_cache.hpp"
+
+namespace chaos::dist {
+
+namespace {
+
+std::size_t round_up_pow2(i64 v) {
+  std::size_t c = 16;
+  while (static_cast<i64>(c) < v) c <<= 1;
+  return c;
+}
+
+}  // namespace
+
+TranslationCache::TranslationCache(i64 capacity) {
+  CHAOS_CHECK(capacity >= 1, "translation cache: capacity must be >= 1");
+  const std::size_t cap = round_up_pow2(capacity);
+  mask_ = cap - 1;
+  slot_key_.assign(cap, -1);
+  slot_val_.assign(cap, Entry{});
+  slot_epoch_.assign(cap, 0);  // epoch_ starts at 1: every slot begins empty
+}
+
+void TranslationCache::bind(const Dad& dad, u64 stamp) {
+  if (bound_ && dad_ == dad && stamp_ == stamp) return;  // same instance+state
+  if (bound_ && size_ > 0) {
+    ++stats_.flushes;
+  }
+  ++epoch_;
+  size_ = 0;
+  bound_ = true;
+  dad_ = dad;
+  stamp_ = stamp;
+}
+
+void TranslationCache::invalidate() {
+  if (size_ > 0) ++stats_.flushes;
+  ++epoch_;
+  size_ = 0;
+  bound_ = false;
+  dad_ = Dad{};
+  stamp_ = 0;
+}
+
+bool TranslationCache::try_get(i64 g, Entry& out) {
+  std::size_t s = home_slot(g);
+  for (int probe = 0; probe < kProbeLimit; ++probe) {
+    if (!live(s)) break;  // first hole terminates the neighborhood
+    if (slot_key_[s] == g) {
+      out = slot_val_[s];
+      ++stats_.hits;
+      return true;
+    }
+    s = (s + 1) & mask_;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void TranslationCache::put(i64 g, const Entry& e) {
+  const std::size_t home = home_slot(g);
+  std::size_t s = home;
+  std::size_t empty = static_cast<std::size_t>(-1);
+  for (int probe = 0; probe < kProbeLimit; ++probe) {
+    if (!live(s)) {
+      empty = s;
+      break;
+    }
+    if (slot_key_[s] == g) {  // refresh in place
+      slot_val_[s] = e;
+      return;
+    }
+    s = (s + 1) & mask_;
+  }
+  if (empty == static_cast<std::size_t>(-1)) {
+    // Neighborhood full: displace the home slot. Bounded capacity beats
+    // completeness here — a displaced global simply misses and re-locates.
+    empty = home;
+    ++stats_.evictions;
+  } else {
+    ++size_;
+  }
+  slot_key_[empty] = g;
+  slot_val_[empty] = e;
+  slot_epoch_[empty] = epoch_;
+  ++stats_.insertions;
+}
+
+}  // namespace chaos::dist

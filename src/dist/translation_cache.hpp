@@ -1,0 +1,92 @@
+// Persistent software translation cache (CHAOS: "software caching of
+// dereferenced addresses"). A per-process, bounded, open-addressing table
+// mapping global index -> (owning process, local offset) for ONE distribution
+// instance, kept alive across inspector invocations. Repeated inspections
+// over overlapping index sets resolve cached globals locally and only ship
+// the misses through the translation table's locate round — when every rank
+// hits for every distinct reference, the round is skipped entirely.
+//
+// Invalidation protocol (DESIGN.md §8): the cache is *bound* to a DAD
+// incarnation plus a ReuseRegistry nmod stamp. REDISTRIBUTE mints a new DAD
+// and bumps nmod, so rebinding after a remap flushes every entry in O(1)
+// (epoch tag). Using a cache still bound to the pre-remap incarnation is a
+// hard error, never a stale hit: the inspector checks the binding before the
+// first probe and throws ChaosError.
+#pragma once
+
+#include <vector>
+
+#include "dist/dad.hpp"
+#include "dist/translation_table.hpp"
+
+namespace chaos::dist {
+
+class TranslationCache {
+ public:
+  struct Stats {
+    i64 hits = 0;
+    i64 misses = 0;
+    i64 insertions = 0;
+    i64 evictions = 0;  ///< inserts that displaced a live entry (table full)
+    i64 flushes = 0;    ///< rebinds/invalidations that dropped all entries
+  };
+
+  /// @p capacity is rounded up to a power of two (minimum 16) and fixed for
+  /// the cache's lifetime: all storage is allocated here, so probes and
+  /// inserts never touch the heap.
+  explicit TranslationCache(i64 capacity = 1 << 16);
+
+  /// Binds the cache to distribution instance @p dad with modification stamp
+  /// @p stamp (callers with a ReuseRegistry pass reg.last_mod(dad); 0 is fine
+  /// for immutable distributions). Rebinding with the same (incarnation,
+  /// stamp) keeps every entry; any change flushes first — the conservative
+  /// direction, mirroring the Section 3 reuse guard.
+  void bind(const Dad& dad, u64 stamp = 0);
+
+  [[nodiscard]] bool bound() const { return bound_; }
+  /// True iff the cache is bound to exactly this distribution instance.
+  [[nodiscard]] bool accepts(const Dad& dad) const {
+    return bound_ && dad_ == dad;
+  }
+  [[nodiscard]] u64 bound_stamp() const { return stamp_; }
+
+  /// Drops every entry (O(1), epoch bump) and the binding.
+  void invalidate();
+
+  /// Probe for @p g; fills @p out and counts a hit, or counts a miss.
+  [[nodiscard]] bool try_get(i64 g, Entry& out);
+
+  /// Inserts (or refreshes) @p g. Bounded: probing is capped, and a full
+  /// neighborhood evicts the home slot instead of growing the table.
+  void put(i64 g, const Entry& e);
+
+  [[nodiscard]] i64 capacity() const { return static_cast<i64>(mask_ + 1); }
+  [[nodiscard]] i64 size() const { return size_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr int kProbeLimit = 8;
+
+  [[nodiscard]] std::size_t home_slot(i64 g) const {
+    return static_cast<std::size_t>(detail::mix64(static_cast<u64>(g))) &
+           mask_;
+  }
+  [[nodiscard]] bool live(std::size_t s) const {
+    return slot_epoch_[s] == epoch_;
+  }
+
+  std::size_t mask_ = 0;
+  u64 epoch_ = 1;  ///< slots with a different epoch tag are logically empty
+  std::vector<i64> slot_key_;
+  std::vector<Entry> slot_val_;
+  std::vector<u64> slot_epoch_;
+  i64 size_ = 0;
+
+  bool bound_ = false;
+  Dad dad_;
+  u64 stamp_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace chaos::dist

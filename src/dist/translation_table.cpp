@@ -117,7 +117,8 @@ std::shared_ptr<const TranslationTable> TranslationTable::build(
 }
 
 std::vector<Entry> TranslationTable::dereference(
-    rt::Process& p, std::span<const i64> queries) const {
+    rt::Process& p, std::span<const i64> queries,
+    i64 extra_charged_queries) const {
   ++stats_.dereference_calls;
   stats_.queries += static_cast<i64>(queries.size());
   std::vector<Entry> out(queries.size());
@@ -134,7 +135,8 @@ std::vector<Entry> TranslationTable::dereference(
       const auto g = static_cast<std::size_t>(queries[i]);
       out[i] = Entry{proc_[g], local_[g]};
     }
-    p.clock().charge_ops(static_cast<i64>(queries.size()),
+    p.clock().charge_ops(static_cast<i64>(queries.size()) +
+                             extra_charged_queries,
                          p.params().mem_us_per_word);
     return out;
   }
@@ -159,6 +161,7 @@ std::vector<Entry> TranslationTable::dereference(
     r.erase(std::unique(r.begin(), r.end()), r.end());
     remote += static_cast<i64>(r.size());
   }
+  stats_.wire_queries += remote;
 
   // The exchange is collective even when this process asks nothing: peers
   // may be asking us. One round = request alltoallv + response alltoallv.
@@ -184,7 +187,8 @@ std::vector<Entry> TranslationTable::dereference(
     const auto it = std::lower_bound(req.begin(), req.end(), q);
     out[i] = answers[home][static_cast<std::size_t>(it - req.begin())];
   }
-  p.clock().charge_ops(static_cast<i64>(queries.size()) + 2 * remote,
+  p.clock().charge_ops(static_cast<i64>(queries.size()) +
+                           extra_charged_queries + 2 * remote,
                        p.params().mem_us_per_word);
   return out;
 }

@@ -37,6 +37,10 @@ class TranslationTable {
     i64 alltoallv_rounds = 0;  ///< request+response exchanges performed
     i64 queries = 0;
     i64 remote_queries = 0;  ///< queries whose page lives on another process
+    /// Distinct remote targets actually shipped on the wire (after the
+    /// per-home sort+unique): the request-side alltoallv word count. The
+    /// inspector bench reads this to show the translation-cache traffic cut.
+    i64 wire_queries = 0;
   };
 
   /// Collective. Every process contributes the globals it owns, in its local
@@ -50,9 +54,11 @@ class TranslationTable {
   /// Collective (paged mode performs one exchange round even when this
   /// process has no remote queries — peers may). answers[i] resolves
   /// queries[i]; duplicate and empty query lists are legal and lists may
-  /// differ in length across processes.
+  /// differ in length across processes. @p extra_charged_queries is folded
+  /// into the final clock charge (see Distribution::locate_into).
   [[nodiscard]] std::vector<Entry> dereference(
-      rt::Process& p, std::span<const i64> queries) const;
+      rt::Process& p, std::span<const i64> queries,
+      i64 extra_charged_queries = 0) const;
 
   [[nodiscard]] i64 size() const { return n_; }
   [[nodiscard]] i64 page_size() const { return page_size_; }

@@ -61,6 +61,10 @@ struct LoopPlan {
   std::vector<std::string> ind_names;
   std::vector<std::vector<i64>> ind_values;  ///< remapped, 0-based
   core::LocalizedMany data_loc;              ///< one batch per ind array
+  /// One inspector workspace per localized distribution (data_dist vs
+  /// iter_space), so an attached translation cache binds to one DAD.
+  core::InspectorWorkspace iws;         ///< localizes against data_dist
+  core::InspectorWorkspace direct_iws;  ///< localizes against iter_space
 
   bool has_direct = false;
   core::Localized direct_loc;  ///< batch = iter_ids against iter_space
@@ -525,11 +529,13 @@ std::shared_ptr<LoopPlan> build_loop_plan(ForallContext& ctx,
     if (!plan->ind_values.empty()) {
       std::vector<std::span<const i64>> batches(plan->ind_values.begin(),
                                                 plan->ind_values.end());
-      plan->data_loc = core::localize_many(p, *plan->data_dist, batches);
+      core::localize_many(p, *plan->data_dist, batches, plan->iws,
+                          plan->data_loc);
     }
     plan->has_direct = !direct_arrays.empty();
     if (plan->has_direct) {
-      plan->direct_loc = core::localize(p, *plan->iter_space, plan->iter_ids);
+      core::localize(p, *plan->iter_space, plan->iter_ids, plan->direct_iws,
+                     plan->direct_loc);
     }
 
     // Ghost scratch per read array, then compile the body to bytecode with
@@ -575,13 +581,15 @@ std::shared_ptr<LoopPlan> build_loop_plan(ForallContext& ctx,
         w.assign_slot = static_cast<int>(plan->assign_loc.size());
         const dist::Distribution& target_dist =
             direct ? *plan->iter_space : *plan->data_dist;
+        plan->assign_loc.emplace_back();
         if (direct) {
-          plan->assign_loc.push_back(
-              core::localize(p, target_dist, plan->iter_ids));
+          core::localize(p, target_dist, plan->iter_ids, plan->direct_iws,
+                         plan->assign_loc.back());
         } else {
           const int b = batch_of.at(stmt.target_index.ind_array);
-          plan->assign_loc.push_back(core::localize(
-              p, target_dist, plan->ind_values[static_cast<std::size_t>(b)]));
+          core::localize(p, target_dist,
+                         plan->ind_values[static_cast<std::size_t>(b)],
+                         plan->iws, plan->assign_loc.back());
         }
       } else {
         w.refs_group = direct ? 1 : 0;

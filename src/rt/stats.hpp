@@ -22,6 +22,11 @@ struct MessageStats {
   /// schedule.
   i64 alltoallv_calls = 0;
   i64 alltoallv_bytes = 0;
+  /// Inspector translation-cache outcome counters (dist::TranslationCache
+  /// probes made by localize): hits resolve locally, misses go through the
+  /// translation-table locate round.
+  i64 tcache_hits = 0;
+  i64 tcache_misses = 0;
 
   void note_send(i64 bytes) {
     ++messages_sent;
@@ -45,6 +50,8 @@ struct MessageStats {
     barriers += o.barriers;
     alltoallv_calls += o.alltoallv_calls;
     alltoallv_bytes += o.alltoallv_bytes;
+    tcache_hits += o.tcache_hits;
+    tcache_misses += o.tcache_misses;
     return *this;
   }
 };

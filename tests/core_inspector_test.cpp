@@ -191,6 +191,135 @@ TEST(Localize, ManyBatchesShareOneDedupTable) {
   });
 }
 
+class WorkspaceSweep : public LocalizeSweep {};
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsSizesProcs, WorkspaceSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<i64>(4, 100, 333),
+                       ::testing::Values(1, 2, 4, 8)),
+    [](const auto& info) {
+      return kind_name(std::get<0>(info.param)) + "_N" +
+             std::to_string(std::get<1>(info.param)) + "_P" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST_P(WorkspaceSweep, WorkspacePathIsBitIdenticalToValuePath) {
+  const auto [kind, n, P] = GetParam();
+  rt::Machine::run(P, [&, kind = kind, n = n](rt::Process& p) {
+    auto d = make_dist(p, kind, n);
+    const auto refs = make_refs(p.rank(), n, 3 * n + p.rank(), 23);
+    const auto value = core::localize(p, *d, refs);
+
+    core::InspectorWorkspace ws;
+    core::Localized out;
+    // Three rounds through one workspace: the first sizes the buffers, the
+    // rest re-run warm — every round must reproduce the value-path result
+    // exactly (refs, full CSR schedule, and the pre-dedup counter).
+    for (int round = 0; round < 3; ++round) {
+      core::localize(p, *d, refs, ws, out);
+      EXPECT_EQ(out.refs, value.refs);
+      EXPECT_EQ(out.schedule.send_indices, value.schedule.send_indices);
+      EXPECT_EQ(out.schedule.send_offsets, value.schedule.send_offsets);
+      EXPECT_EQ(out.schedule.recv_offsets, value.schedule.recv_offsets);
+      EXPECT_EQ(out.schedule.nghost, value.schedule.nghost);
+      EXPECT_EQ(out.schedule.nlocal_at_build, value.schedule.nlocal_at_build);
+      EXPECT_EQ(out.off_process_refs, value.off_process_refs);
+    }
+  });
+}
+
+TEST(Localize, HeavyDuplicatesCollapseLocateQueryVolume) {
+  // Each distinct global is referenced 8x; the dedup-first pipeline must
+  // push only the distinct set through the translation table.
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 n = 128;
+    auto d = make_dist(p, 2, n);  // irregular: locate goes through the table
+    std::vector<i64> refs;
+    const i64 distinct = n / 2;
+    for (int rep = 0; rep < 8; ++rep) {
+      for (i64 g = 0; g < distinct; ++g) {
+        refs.push_back((g * 5 + static_cast<i64>(p.rank())) % n);
+      }
+    }
+
+    core::InspectorWorkspace ws;
+    core::Localized out;
+    const i64 queries_before = d->table()->stats().queries;
+    core::localize(p, *d, refs, ws, out);
+    const i64 queries = d->table()->stats().queries - queries_before;
+
+    EXPECT_EQ(ws.last_total_refs(), static_cast<i64>(refs.size()));
+    EXPECT_EQ(ws.last_distinct_refs(), distinct);
+    EXPECT_EQ(queries, distinct);  // 8x fewer than the reference stream
+    // Wire volume never exceeds the distinct set either.
+    EXPECT_LE(d->table()->stats().wire_queries, distinct);
+
+    // And the collapsed pipeline still matches the value path bit-for-bit.
+    const auto value = core::localize(p, *d, refs);
+    EXPECT_EQ(out.refs, value.refs);
+    EXPECT_EQ(out.schedule.send_indices, value.schedule.send_indices);
+    EXPECT_EQ(out.off_process_refs, value.off_process_refs);
+  });
+}
+
+TEST(Localize, WorkspaceWarmRerunKeepsBufferAddressesStable) {
+  // Zero-allocation claim, observable without an allocator hook: once warm,
+  // re-localizing same-shaped input must not move any output buffer.
+  rt::Machine::run(4, [](rt::Process& p) {
+    constexpr i64 n = 256;
+    auto d = dist::Distribution::block(p, n);
+    const auto refs = make_refs(p.rank(), n, 4 * n, 71);
+    core::InspectorWorkspace ws;
+    core::Localized out;
+    core::localize(p, *d, refs, ws, out);  // warmup sizes everything
+    const i64* refs_data = out.refs.data();
+    const i64* send_data = out.schedule.send_indices.data();
+    const i64* sendoff_data = out.schedule.send_offsets.data();
+    const i64* recvoff_data = out.schedule.recv_offsets.data();
+    for (int round = 0; round < 3; ++round) {
+      core::localize(p, *d, refs, ws, out);
+      EXPECT_EQ(out.refs.data(), refs_data);
+      EXPECT_EQ(out.schedule.send_indices.data(), send_data);
+      EXPECT_EQ(out.schedule.send_offsets.data(), sendoff_data);
+      EXPECT_EQ(out.schedule.recv_offsets.data(), recvoff_data);
+    }
+  });
+}
+
+TEST(Localize, WorkspaceHandlesEmptyAllLocalAndSingleProcess) {
+  // P=1: every reference is owned, the schedule is trivially empty.
+  rt::Machine::run(1, [](rt::Process& p) {
+    auto d = dist::Distribution::block(p, 32);
+    const auto refs = make_refs(0, 32, 200, 3);
+    core::InspectorWorkspace ws;
+    core::Localized out;
+    core::localize(p, *d, refs, ws, out);
+    EXPECT_EQ(out.schedule.nghost, 0);
+    EXPECT_EQ(out.off_process_refs, 0);
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      EXPECT_EQ(out.refs[i], refs[i]);
+    }
+  });
+  // Empty batch and all-local batch through one reused workspace.
+  rt::Machine::run(4, [](rt::Process& p) {
+    auto d = dist::Distribution::block(p, 64);
+    core::InspectorWorkspace ws;
+    core::Localized out;
+    core::localize(p, *d, std::vector<i64>{}, ws, out);
+    EXPECT_TRUE(out.refs.empty());
+    EXPECT_EQ(out.schedule.nghost, 0);
+
+    const auto mine = d->my_globals();
+    core::localize(p, *d, mine, ws, out);
+    EXPECT_EQ(out.schedule.nghost, 0);
+    EXPECT_EQ(out.off_process_refs, 0);
+    for (std::size_t l = 0; l < mine.size(); ++l) {
+      EXPECT_EQ(out.refs[l], static_cast<i64>(l));
+    }
+  });
+}
+
 TEST(Localize, OutOfRangeReferenceIsRejected) {
   EXPECT_THROW(rt::Machine::run(2,
                                 [](rt::Process& p) {
