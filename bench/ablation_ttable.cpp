@@ -1,18 +1,66 @@
-// Ablation B: translation-table organization. PARTI/CHAOS distributes the
-// global-to-local translation table page-wise; the alternative is full
-// replication (O(N) memory per process, zero-communication dereference).
-// Two measurements:
-//   1. dist-layer dereference microbench on the 53K mesh's edge endpoints,
-//      paged at page sizes 1 / 64 / 4096 vs replicated, with per-locate
-//      alltoallv-round accounting — written to BENCH_ttable.json so the
-//      perf trajectory of the hot path is tracked from PR to PR;
-//   2. the full RCB inspector pipeline swept over page sizes (context).
+// Ablation B: translation-table organization + dereference protocol.
+// PARTI/CHAOS distributes the global-to-local translation table page-wise;
+// the alternative is full replication (O(N) memory per process,
+// zero-communication dereference). Orthogonally, two dereference protocols:
+//   nested — the historical entry point: per-home request vectors, one
+//            request/response round (two nested alltoallv), buffers
+//            reallocated per call;
+//   flat   — this PR: dereference_flat through a reusable
+//            DereferenceWorkspace — counts alltoall + two flat CSR
+//            exchanges (3 collectives), ZERO heap allocations on a warm
+//            repeat call.
+// Measurements per config: per-locate collective rounds, heap allocations
+// per warm locate (operator-new hook; flat must be exactly 0 — a hard gate),
+// modeled seconds, and host wall throughput — written to BENCH_ttable.json
+// so the perf trajectory of the hot path is tracked from PR to PR. The full
+// RCB inspector pipeline page-size sweep rides along for context.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "dist/dereference_workspace.hpp"
+
+// --- global allocation counter ----------------------------------------------
+
+namespace {
+std::atomic<long long> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace bench = chaos::bench;
 namespace rt = chaos::rt;
@@ -23,11 +71,14 @@ using chaos::i64;
 namespace {
 
 struct ConfigResult {
-  std::string mode;  // "paged" or "replicated"
+  std::string mode;     // "paged" or "replicated"
+  std::string variant;  // "nested" or "flat"
   i64 page_size = 0;
   i64 locate_calls = 0;
-  i64 alltoallv_rounds = 0;  // rank-0 rounds (identical on every rank)
-  i64 queries_total = 0;     // machine-total queries over all locate calls
+  i64 alltoallv_rounds = 0;   // nested: rank-0 request/response rounds
+  i64 flat_collectives = 0;   // flat: rank-0 collectives (3 per paged call)
+  i64 queries_total = 0;      // machine-total queries over all locate calls
+  f64 allocs_per_locate = 0;  // machine-wide heap allocations per warm call
   f64 modeled_seconds = 0.0;
   f64 wall_seconds = 0.0;         ///< whole run incl. machine + table build
   f64 locate_wall_seconds = 0.0;  ///< just the locate loop (barrier-fenced)
@@ -37,9 +88,11 @@ struct ConfigResult {
 constexpr int kProcs = 16;
 constexpr int kLocateCalls = 4;
 
-ConfigResult run_config(const bench::Workload& w, i64 page, bool repl) {
+ConfigResult run_config(const bench::Workload& w, i64 page, bool repl,
+                        bool flat) {
   ConfigResult r;
   r.mode = repl ? "replicated" : "paged";
+  r.variant = flat ? "flat" : "nested";
   r.page_size = page;
   const auto t0 = std::chrono::steady_clock::now();
   rt::Machine machine(kProcs);
@@ -63,23 +116,49 @@ ConfigResult run_config(const bench::Workload& w, i64 page, bool repl) {
       queries.push_back(w.e2[static_cast<std::size_t>(e)]);
     }
 
+    // Flat-path state: caller-owned answers + scratch, warmed by one call
+    // (which both sizes every workspace buffer and checks the answers
+    // against the nested protocol — the two entry points must agree).
+    std::vector<dist::Entry> entries;
+    dist::DereferenceWorkspace ws;
+    if (flat) {
+      d->locate_flat_into(p, queries, entries, ws);
+      const auto nested = d->locate(p, queries);
+      for (std::size_t i = 0; i < nested.size(); ++i) {
+        CHAOS_CHECK(entries[i].proc == nested[i].proc &&
+                        entries[i].local == nested[i].local,
+                    "ablation_ttable: flat and nested dereference disagree");
+      }
+    }
+
     const auto& table = *d->table();
     const i64 rounds_before = table.stats().alltoallv_rounds;
+    const i64 flat_before = table.stats().flat_collectives;
     // Barrier-fence the loop so the wall measurement covers only the
-    // dereference traffic, not machine construction or the table build.
+    // dereference traffic, not machine construction or the table build —
+    // and so the allocation window covers exactly the warm locate calls.
     rt::barrier(p);
+    const long long allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
     const auto w0 = std::chrono::steady_clock::now();
     rt::ClockSection section(p.clock());
     for (int k = 0; k < kLocateCalls; ++k) {
-      auto entries = d->locate(p, queries);
-      (void)entries;
+      if (flat) {
+        d->locate_flat_into(p, queries, entries, ws);
+      } else {
+        auto nested = d->locate(p, queries);
+        (void)nested;
+      }
     }
     rt::barrier(p);
+    const long long allocs1 = g_heap_allocs.load(std::memory_order_relaxed);
     const f64 modeled = rt::allreduce_max(p, section.elapsed_sec());
     if (p.is_root()) {
       r.modeled_seconds = modeled;
       r.locate_calls = kLocateCalls;
       r.alltoallv_rounds = table.stats().alltoallv_rounds - rounds_before;
+      r.flat_collectives = table.stats().flat_collectives - flat_before;
+      r.allocs_per_locate = static_cast<f64>(allocs1 - allocs0) /
+                            static_cast<f64>(kLocateCalls);
       r.locate_wall_seconds =
           std::chrono::duration<f64>(std::chrono::steady_clock::now() - w0)
               .count();
@@ -113,19 +192,26 @@ bool write_json(const bench::Workload& w,
   std::fprintf(f, "  \"configs\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
+    const bool flat = r.variant == "flat";
+    const i64 rounds = flat ? r.flat_collectives : r.alltoallv_rounds;
     std::fprintf(f,
-                 "    {\"mode\": \"%s\", \"page_size\": %lld, "
+                 "    {\"mode\": \"%s\", \"variant\": \"%s\", "
+                 "\"page_size\": %lld, "
                  "\"alltoallv_rounds\": %lld, "
                  "\"rounds_per_locate\": %.1f, "
+                 "\"collectives_per_locate\": %.1f, "
+                 "\"allocs_per_locate\": %.2f, "
                  "\"queries_total\": %lld, "
                  "\"modeled_seconds\": %.6f, "
                  "\"locate_wall_seconds\": %.6f, \"wall_seconds\": %.6f, "
                  "\"queries_per_sec_wall\": %.0f}%s\n",
-                 r.mode.c_str(), static_cast<long long>(r.page_size),
+                 r.mode.c_str(), r.variant.c_str(),
+                 static_cast<long long>(r.page_size),
                  static_cast<long long>(r.alltoallv_rounds),
                  static_cast<f64>(r.alltoallv_rounds) /
                      static_cast<f64>(r.locate_calls),
-                 static_cast<long long>(r.queries_total),
+                 static_cast<f64>(rounds) / static_cast<f64>(r.locate_calls),
+                 r.allocs_per_locate, static_cast<long long>(r.queries_total),
                  r.modeled_seconds, r.locate_wall_seconds, r.wall_seconds,
                  r.queries_per_sec_wall,
                  i + 1 < results.size() ? "," : "");
@@ -138,37 +224,50 @@ bool write_json(const bench::Workload& w,
 }  // namespace
 
 int main() {
-  std::printf("Ablation B: translation-table page size / replication\n");
-  std::printf("53K mesh @ %d procs (modeled seconds + host wall clock)\n\n",
+  std::printf("Ablation B: translation-table page size / replication / "
+              "dereference protocol\n");
+  std::printf("53K mesh @ %d procs (modeled seconds + host wall clock; heap "
+              "allocations counted globally)\n\n",
               kProcs);
 
   const auto w = bench::workload_mesh_53k();
 
   // --- 1. dist-layer dereference microbench -> BENCH_ttable.json -----------
-  std::printf("%-24s %10s %12s %14s %12s %16s\n", "table organization",
-              "rounds", "rounds/loc", "modeled (s)", "loc wall (s)",
+  std::printf("%-24s %10s %12s %12s %14s %12s %16s\n", "table organization",
+              "rounds", "coll/loc", "allocs/loc", "modeled (s)", "loc wall (s)",
               "queries/s (wall)");
   std::vector<ConfigResult> results;
   for (const i64 page : {i64{1}, i64{64}, i64{4096}}) {
-    results.push_back(run_config(w, page, /*repl=*/false));
+    results.push_back(run_config(w, page, /*repl=*/false, /*flat=*/false));
   }
   // Page size is meaningless for a replicated table; report 0 in the JSON
   // so consumers never group it with the paged pg=4096 row. (The table
   // itself still needs a legal page_size >= 1 to build.)
   {
-    auto repl = run_config(w, 4096, /*repl=*/true);
+    auto repl = run_config(w, 4096, /*repl=*/true, /*flat=*/false);
+    repl.page_size = 0;
+    results.push_back(std::move(repl));
+  }
+  // The flat rows: same organizations through dereference_flat.
+  for (const i64 page : {i64{1}, i64{64}, i64{4096}}) {
+    results.push_back(run_config(w, page, /*repl=*/false, /*flat=*/true));
+  }
+  {
+    auto repl = run_config(w, 4096, /*repl=*/true, /*flat=*/true);
     repl.page_size = 0;
     results.push_back(std::move(repl));
   }
   for (const auto& r : results) {
-    const std::string label =
+    const bool flat = r.variant == "flat";
+    std::string label =
         r.mode == "paged" ? "paged, pg=" + std::to_string(r.page_size)
                           : "replicated";
-    std::printf("%-24s %10lld %12.1f %14.3f %12.3f %16.0f\n", label.c_str(),
-                static_cast<long long>(r.alltoallv_rounds),
-                static_cast<f64>(r.alltoallv_rounds) /
-                    static_cast<f64>(r.locate_calls),
-                r.modeled_seconds, r.locate_wall_seconds,
+    if (flat) label += " (flat)";
+    const i64 rounds = flat ? r.flat_collectives : r.alltoallv_rounds;
+    std::printf("%-24s %10lld %12.1f %12.2f %14.3f %12.3f %16.0f\n",
+                label.c_str(), static_cast<long long>(rounds),
+                static_cast<f64>(rounds) / static_cast<f64>(r.locate_calls),
+                r.allocs_per_locate, r.modeled_seconds, r.locate_wall_seconds,
                 r.queries_per_sec_wall);
     std::fflush(stdout);
   }
@@ -192,8 +291,37 @@ int main() {
     std::fflush(stdout);
   }
 
+  // Hard gates this PR claims (checked here so CI smoke fails loudly).
+  int rc = 0;
+  for (const auto& r : results) {
+    if (r.variant != "flat") continue;
+    if (r.allocs_per_locate != 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: %s flat dereference performed %.2f heap allocations "
+                   "per warm locate (want 0)\n",
+                   r.mode.c_str(), r.allocs_per_locate);
+      rc = 1;
+    }
+    const f64 per_call = static_cast<f64>(r.flat_collectives) /
+                         static_cast<f64>(r.locate_calls);
+    const f64 want = r.mode == "paged" ? 3.0 : 0.0;
+    if (per_call != want) {
+      std::fprintf(stderr,
+                   "FAIL: %s flat dereference spent %.1f collectives per "
+                   "locate (want %.1f)\n",
+                   r.mode.c_str(), per_call, want);
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::printf("\nPASS: flat dereference is allocation-free on warm locates "
+                "(paged and replicated), at exactly 3 collectives per paged "
+                "call and 0 replicated\n");
+  }
   std::printf("\nshape check: page size barely matters (queries batch per "
               "home anyway); replication removes the dereference exchange at "
-              "O(N) memory per process — the PARTI trade-off.\n");
-  return 0;
+              "O(N) memory per process — the PARTI trade-off. The flat "
+              "protocol trades one extra (cheap) counts collective for "
+              "allocation-free warm locates.\n");
+  return rc;
 }

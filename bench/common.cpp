@@ -4,6 +4,8 @@
 #include <memory>
 #include <mutex>
 
+#include "dist/translation_cache.hpp"
+
 namespace chaos::bench {
 
 namespace {
@@ -126,7 +128,16 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
     }
 
     // Phases B(iteration)/D inspector, re-run per sweep when reuse is off.
+    // The optional translation cache outlives the plan's workspace that
+    // probes it; it binds to data_dist's DAD on the first localize and stays
+    // warm across the no-reuse rebuilds — exactly the CHAOS software-caching
+    // configuration the flag exists to quantify.
+    std::unique_ptr<dist::TranslationCache> tcache;
     core::EdgeLoopPlan plan;
+    if (cfg.translation_cache) {
+      tcache = std::make_unique<dist::TranslationCache>(1 << 18);
+      plan.iws.attach_cache(tcache.get());
+    }
     auto build_plan = [&] {
       {
         rt::ClockSection t(p.clock());

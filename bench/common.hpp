@@ -45,6 +45,13 @@ struct PipelineConfig {
   core::IterRule iter_rule = core::IterRule::MostLocalReferences;
   i64 ttable_page_size = 4096;
   bool ttable_replicated = false;
+  /// Attach a persistent dist::TranslationCache to the loop plan's inspector
+  /// workspace (hand pipeline). Pays one allreduce vote per localize and
+  /// absorbs warm locate rounds, so it (correctly) LOWERS modeled times on
+  /// no-reuse configurations — keep rows using it separate from
+  /// paper-comparison rows. Default off: all existing configurations stay
+  /// bit-identical.
+  bool translation_cache = false;
 };
 
 struct PhaseResult {

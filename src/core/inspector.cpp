@@ -4,6 +4,21 @@ namespace chaos::core {
 
 namespace detail {
 
+i64 dedup_batches(InspectorWorkspace& ws,
+                  std::span<const std::span<const i64>> batches) {
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  ws.begin(total);
+  std::size_t cursor = 0;
+  for (const auto& b : batches) {
+    for (const i64 g : b) {
+      ws.pos_ids_[cursor++] = ws.dedup_id(g);
+    }
+  }
+  ws.last_distinct_ = static_cast<i64>(ws.distinct_.size());
+  return ws.last_distinct_;
+}
+
 // The dedup-first pipeline. Outputs (refs, schedule, off_process_refs) and
 // modeled virtual-clock charges are bit-identical to the historical
 // translate-everything-first implementation when no cache is attached; the
@@ -23,17 +38,8 @@ void localize_into(rt::Process& p, const dist::Distribution& d,
   // position records the distinct ordinal of its global (first-occurrence
   // order, which keeps every downstream ordering bit-identical to the
   // translate-first pipeline).
-  std::size_t total = 0;
-  for (const auto& b : batches) total += b.size();
-  ws.begin(total);
-  std::size_t cursor = 0;
-  for (const auto& b : batches) {
-    for (const i64 g : b) {
-      ws.pos_ids_[cursor++] = ws.dedup_id(g);
-    }
-  }
-  const i64 distinct = static_cast<i64>(ws.distinct_.size());
-  ws.last_distinct_ = distinct;
+  const i64 distinct = dedup_batches(ws, batches);
+  const auto total = static_cast<std::size_t>(ws.last_total_);
 
   // Phase 2: resolve the distinct globals to (owner, local) entries — ONE
   // batched table dereference over distinct globals only. With a persistent
@@ -69,7 +75,12 @@ void localize_into(rt::Process& p, const dist::Distribution& d,
     // One probe per distinct global.
     p.clock().charge_ops(distinct, p.params().mem_us_per_word);
     if (rt::allreduce_sum(p, nmiss) > 0) {
-      d.locate_into(p, ws.miss_globals_, ws.miss_entries_);
+      if (ws.flat_locate_) {
+        d.locate_flat_into(p, ws.miss_globals_, ws.miss_entries_,
+                           ws.deref_ws_);
+      } else {
+        d.locate_into(p, ws.miss_globals_, ws.miss_entries_);
+      }
       for (std::size_t j = 0; j < ws.miss_ids_.size(); ++j) {
         const auto k = static_cast<std::size_t>(ws.miss_ids_[j]);
         ws.entries_[k] = ws.miss_entries_[j];
@@ -81,9 +92,15 @@ void localize_into(rt::Process& p, const dist::Distribution& d,
     // reference, duplicates included. The collapsed duplicates ride the
     // locate's own (single, fused) clock charge, so modeled times stay
     // bit-identical — same integer operand, same one rounding step — while
-    // the host does ~1/multiplicity of the work.
-    d.locate_into(p, ws.distinct_, ws.entries_,
-                  static_cast<i64>(total) - distinct);
+    // the host does ~1/multiplicity of the work. The flat variant keeps the
+    // same compensation but pays its own (3-round) collective bill.
+    if (ws.flat_locate_) {
+      d.locate_flat_into(p, ws.distinct_, ws.entries_, ws.deref_ws_,
+                         static_cast<i64>(total) - distinct);
+    } else {
+      d.locate_into(p, ws.distinct_, ws.entries_,
+                    static_cast<i64>(total) - distinct);
+    }
   }
 
   // Phase 3: ghost slots are per-owner contiguous, owners ascending, within
@@ -123,7 +140,7 @@ void localize_into(rt::Process& p, const dist::Distribution& d,
   // ordinals, counting off-process references with multiplicity (a ghost
   // value is >= nlocal by construction).
   off_process_refs = 0;
-  cursor = 0;
+  std::size_t cursor = 0;
   for (std::size_t b = 0; b < batches.size(); ++b) {
     std::vector<i64>& refs = *refs_out[b];
     refs.resize(batches[b].size());

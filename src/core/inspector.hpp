@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "dist/dereference_workspace.hpp"
 #include "dist/distribution.hpp"
 #include "dist/translation_cache.hpp"
 #include "rt/collectives.hpp"
@@ -54,6 +55,14 @@ void localize_into(rt::Process& p, const dist::Distribution& d,
                    std::span<std::vector<i64>* const> refs_out,
                    CommSchedule& schedule, i64& off_process_refs,
                    InspectorWorkspace& ws);
+
+/// Collapses duplicate globals across @p batches through the workspace's
+/// dedup table: fills the per-position ordinal map and the distinct arena
+/// (first-occurrence order) and returns the distinct count. The shared front
+/// half of localize, also used by partition_iterations to dedup its
+/// reference batches before the owner locate.
+i64 dedup_batches(InspectorWorkspace& ws,
+                  std::span<const std::span<const i64>> batches);
 }  // namespace detail
 
 /// Reusable inspector scratch: the dedup table, the distinct-reference
@@ -75,16 +84,39 @@ class InspectorWorkspace {
   void attach_cache(dist::TranslationCache* cache) { cache_ = cache; }
   [[nodiscard]] dist::TranslationCache* cache() const { return cache_; }
 
+  /// Opts the cold-path lookup into the flat CSR dereference: IRREGULAR
+  /// locate rounds (all distinct globals without a cache; just the misses
+  /// with one) run through Distribution::locate_flat_into staged in this
+  /// workspace's DereferenceWorkspace — zero heap allocations on a warm
+  /// repeat, composing with warm cache hits. SPMD discipline: every rank
+  /// flips the flag together (the flat protocol's collective count differs),
+  /// and because that count differs (3 rounds vs 2), the default stays OFF
+  /// so existing modeled virtual times remain bit-identical.
+  void set_flat_locate(bool on) { flat_locate_ = on; }
+  [[nodiscard]] bool flat_locate() const { return flat_locate_; }
+
   /// Reference counts of the most recent localize through this workspace
   /// (the bench layer checks locate volume against these).
   [[nodiscard]] i64 last_total_refs() const { return last_total_; }
   [[nodiscard]] i64 last_distinct_refs() const { return last_distinct_; }
+
+  /// Read-only views of the most recent dedup pass (valid until the next
+  /// begin): the distinct globals in first-occurrence order, and the
+  /// distinct ordinal of every reference position in batch-major order.
+  [[nodiscard]] std::span<const i64> distinct_globals() const {
+    return {distinct_.data(), static_cast<std::size_t>(last_distinct_)};
+  }
+  [[nodiscard]] std::span<const i64> pos_ordinals() const {
+    return {pos_ids_.data(), static_cast<std::size_t>(last_total_)};
+  }
 
  private:
   friend void detail::localize_into(rt::Process&, const dist::Distribution&,
                                     std::span<const std::span<const i64>>,
                                     std::span<std::vector<i64>* const>,
                                     CommSchedule&, i64&, InspectorWorkspace&);
+  friend i64 detail::dedup_batches(InspectorWorkspace&,
+                                   std::span<const std::span<const i64>>);
   friend void localize_many(rt::Process&, const dist::Distribution&,
                             std::span<const std::span<const i64>>,
                             InspectorWorkspace&, LocalizedMany&);
@@ -150,6 +182,8 @@ class InspectorWorkspace {
   std::vector<std::vector<i64>*> refs_ptrs_;  ///< localize_many staging
 
   dist::TranslationCache* cache_ = nullptr;
+  bool flat_locate_ = false;
+  dist::DereferenceWorkspace deref_ws_;  ///< flat cold-path locate scratch
   i64 last_total_ = 0;
   i64 last_distinct_ = 0;
 };
@@ -174,33 +208,11 @@ void localize_many(rt::Process& p, const dist::Distribution& d,
                    std::span<const std::span<const i64>> batches,
                    InspectorWorkspace& ws, LocalizedMany& out);
 
-/// Collective. Exchanges one CSR of trivially-copyable items: a counts
-/// alltoall fixes the receive prefix, then one flat alltoallv moves the
-/// payload. @p recv / @p recv_offsets are resized in place (no allocation
-/// once grown); @p counts_scratch needs no sizing by the caller. This is THE
-/// schedule-forming exchange — localize routes its ghost requests through it
-/// and geocol its half-edges, so there is one inspector exchange
+/// THE schedule-forming exchange (now hosted in rt/collectives.hpp so the
+/// dist layer's flat dereference can drive it too): localize routes its
+/// ghost requests through it, geocol its half-edges, and
+/// TranslationTable::dereference_flat its request round — one CSR exchange
 /// implementation in the tree.
-template <typename T>
-void exchange_csr(rt::Process& p, std::span<const T> send,
-                  std::span<const i64> send_offsets, std::vector<T>& recv,
-                  std::vector<i64>& recv_offsets,
-                  std::vector<i64>& counts_scratch) {
-  const auto np = static_cast<std::size_t>(p.nprocs());
-  counts_scratch.resize(2 * np);
-  const std::span<i64> my_counts(counts_scratch.data(), np);
-  const std::span<i64> peer_counts(counts_scratch.data() + np, np);
-  for (std::size_t r = 0; r < np; ++r) {
-    my_counts[r] = send_offsets[r + 1] - send_offsets[r];
-  }
-  rt::alltoall<i64>(p, my_counts, peer_counts);
-  recv_offsets.resize(np + 1);
-  recv_offsets[0] = 0;
-  for (std::size_t r = 0; r < np; ++r) {
-    recv_offsets[r + 1] = recv_offsets[r] + peer_counts[r];
-  }
-  recv.resize(static_cast<std::size_t>(recv_offsets[np]));
-  rt::alltoallv_flat<T>(p, send, send_offsets, recv, recv_offsets);
-}
+using rt::exchange_csr;
 
 }  // namespace chaos::core

@@ -182,4 +182,16 @@ void Distribution::locate_into(rt::Process& p, std::span<const i64> queries,
                        p.params().mem_us_per_word);
 }
 
+void Distribution::locate_flat_into(rt::Process& p,
+                                    std::span<const i64> queries,
+                                    std::vector<Entry>& out,
+                                    DereferenceWorkspace& ws,
+                                    i64 extra_charged_queries) const {
+  if (dad_.kind == DistKind::Irregular) {
+    table_->dereference_flat(p, queries, out, ws, extra_charged_queries);
+    return;
+  }
+  locate_into(p, queries, out, extra_charged_queries);
+}
+
 }  // namespace chaos::dist

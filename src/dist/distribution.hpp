@@ -83,6 +83,17 @@ class Distribution {
                    std::vector<Entry>& out,
                    i64 extra_charged_queries = 0) const;
 
+  /// Collective, zero-allocation variant: IRREGULAR distributions resolve
+  /// through TranslationTable::dereference_flat staged in @p ws (0 heap
+  /// allocations on a warm repeat call), regular kinds answer with the same
+  /// closed-form arithmetic — and identical charge — as locate_into. Answers
+  /// always match locate_into; the IRREGULAR modeled charge does NOT (3
+  /// collectives vs 2, see dereference_flat), which is why this is a
+  /// separate opt-in entry point.
+  void locate_flat_into(rt::Process& p, std::span<const i64> queries,
+                        std::vector<Entry>& out, DereferenceWorkspace& ws,
+                        i64 extra_charged_queries = 0) const;
+
   /// The backing translation table (IRREGULAR only; nullptr otherwise).
   [[nodiscard]] const TranslationTable* table() const { return table_.get(); }
 

@@ -21,6 +21,8 @@
 
 namespace chaos::dist {
 
+class DereferenceWorkspace;
+
 /// One resolved global reference: owning process and local offset there.
 struct Entry {
   i32 proc = -1;
@@ -41,6 +43,12 @@ class TranslationTable {
     /// per-home sort+unique): the request-side alltoallv word count. The
     /// inspector bench reads this to show the translation-cache traffic cut.
     i64 wire_queries = 0;
+    /// dereference_flat accounting, kept separate so existing consumers of
+    /// the nested counters never see flat traffic folded in.
+    i64 flat_calls = 0;
+    i64 flat_collectives = 0;  ///< 3 per paged flat call, 0 replicated
+    i64 flat_queries = 0;
+    i64 flat_wire_queries = 0;  ///< post-dedup request words, flat path
   };
 
   /// Collective. Every process contributes the globals it owns, in its local
@@ -59,6 +67,20 @@ class TranslationTable {
   [[nodiscard]] std::vector<Entry> dereference(
       rt::Process& p, std::span<const i64> queries,
       i64 extra_charged_queries = 0) const;
+
+  /// Collective, zero-allocation variant of dereference(): the flat CSR
+  /// protocol (DESIGN.md §9) answers the same queries through one counts
+  /// rt::alltoall plus two rt::alltoallv_flat exchanges, staging everything
+  /// in @p ws — a warm repeat call performs 0 heap allocations. Answers are
+  /// identical to dereference(); the modeled charge is NOT: the flat
+  /// protocol spends 3 collectives where the nested path spends 2, so this
+  /// is an opt-in entry point with its own charge, never a drop-in swap
+  /// (existing modeled virtual times stay bit-identical as long as callers
+  /// keep using dereference()). Out-of-range queries throw the same error
+  /// as the nested path.
+  void dereference_flat(rt::Process& p, std::span<const i64> queries,
+                        std::vector<Entry>& out, DereferenceWorkspace& ws,
+                        i64 extra_charged_queries = 0) const;
 
   [[nodiscard]] i64 size() const { return n_; }
   [[nodiscard]] i64 page_size() const { return page_size_; }

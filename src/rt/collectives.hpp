@@ -510,6 +510,35 @@ std::vector<T> scatterv(Process& p, const std::vector<std::vector<T>>& blocks,
   return out;
 }
 
+/// Collective. Exchanges one CSR of trivially-copyable items: a counts
+/// alltoall fixes the receive prefix, then one flat alltoallv moves the
+/// payload. @p recv / @p recv_offsets are resized in place (no allocation
+/// once grown); @p counts_scratch needs no sizing by the caller. This is THE
+/// CSR-forming exchange of the tree — the inspector's ghost requests,
+/// geocol's half-edges, and the flat dereference's request round all drive
+/// it, so the counts+payload protocol exists exactly once.
+template <typename T>
+void exchange_csr(Process& p, std::span<const T> send,
+                  std::span<const i64> send_offsets, std::vector<T>& recv,
+                  std::vector<i64>& recv_offsets,
+                  std::vector<i64>& counts_scratch) {
+  const auto np = static_cast<std::size_t>(p.nprocs());
+  counts_scratch.resize(2 * np);
+  const std::span<i64> my_counts(counts_scratch.data(), np);
+  const std::span<i64> peer_counts(counts_scratch.data() + np, np);
+  for (std::size_t r = 0; r < np; ++r) {
+    my_counts[r] = send_offsets[r + 1] - send_offsets[r];
+  }
+  alltoall<i64>(p, my_counts, peer_counts);
+  recv_offsets.resize(np + 1);
+  recv_offsets[0] = 0;
+  for (std::size_t r = 0; r < np; ++r) {
+    recv_offsets[r + 1] = recv_offsets[r] + peer_counts[r];
+  }
+  recv.resize(static_cast<std::size_t>(recv_offsets[np]));
+  alltoallv_flat<T>(p, send, send_offsets, recv, recv_offsets);
+}
+
 /// Mints a machine-wide unique id, identical on every rank (rank 0 bumps the
 /// machine counter and broadcasts). Used for DAD incarnations and loop ids.
 inline u64 collective_counter(Process& p) {

@@ -27,6 +27,11 @@ struct MessageStats {
   /// translation-table locate round.
   i64 tcache_hits = 0;
   i64 tcache_misses = 0;
+  /// Flat-dereference traffic (dist::TranslationTable::dereference_flat):
+  /// calls made and post-dedup request words shipped. Separate from the
+  /// nested counters so benches can gate each protocol independently.
+  i64 ttable_flat_calls = 0;
+  i64 ttable_flat_wire_queries = 0;
 
   void note_send(i64 bytes) {
     ++messages_sent;
@@ -52,6 +57,8 @@ struct MessageStats {
     alltoallv_bytes += o.alltoallv_bytes;
     tcache_hits += o.tcache_hits;
     tcache_misses += o.tcache_misses;
+    ttable_flat_calls += o.ttable_flat_calls;
+    ttable_flat_wire_queries += o.ttable_flat_wire_queries;
     return *this;
   }
 };
