@@ -194,6 +194,9 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
   const rt::MessageStats totals = machine.total_stats();
   result.alltoallv_calls = totals.alltoallv_calls;
   result.alltoallv_bytes = totals.alltoallv_bytes;
+  result.faults_injected = totals.faults_injected;
+  result.timeouts = totals.timeouts;
+  result.poisoned_waits = totals.poisoned_waits;
 
   result.wall_seconds =
       std::chrono::duration<f64>(std::chrono::steady_clock::now() - wall_start)
@@ -284,6 +287,9 @@ PhaseResult run_compiler_pipeline(int procs, const Workload& w,
   const rt::MessageStats totals = machine.total_stats();
   result.alltoallv_calls = totals.alltoallv_calls;
   result.alltoallv_bytes = totals.alltoallv_bytes;
+  result.faults_injected = totals.faults_injected;
+  result.timeouts = totals.timeouts;
+  result.poisoned_waits = totals.poisoned_waits;
 
   result.wall_seconds =
       std::chrono::duration<f64>(std::chrono::steady_clock::now() - wall_start)
@@ -320,10 +326,21 @@ void print_row(const std::string& label, const std::vector<f64>& measured,
   std::printf("\n");
 }
 
-void print_footer() {
+void print_footer(i64 faults_injected, i64 timeouts, i64 poisoned_waits) {
   std::printf(
       "note: measured = modeled virtual seconds on the simulated iPSC/860 "
       "(max over processes).\n");
+  if (faults_injected == 0 && timeouts == 0 && poisoned_waits == 0) {
+    std::printf("robustness: clean run (0 faults injected, 0 timeouts, "
+                "0 poisoned waits).\n");
+  } else {
+    std::printf("robustness: %lld faults injected, %lld timeouts, %lld "
+                "poisoned waits — results above are NOT a healthy-machine "
+                "measurement.\n",
+                static_cast<long long>(faults_injected),
+                static_cast<long long>(timeouts),
+                static_cast<long long>(poisoned_waits));
+  }
 }
 
 }  // namespace chaos::bench

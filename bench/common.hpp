@@ -67,6 +67,12 @@ struct PhaseResult {
   /// and off-process payload bytes, from rt::MessageStats).
   i64 alltoallv_calls = 0;
   i64 alltoallv_bytes = 0;
+  /// Robustness counters (machine-total, DESIGN.md §10). All three are 0 on
+  /// a healthy bench run; nonzero means a fault plan fired, a watchdog
+  /// tripped, or a waiter was released by poison mid-pipeline.
+  i64 faults_injected = 0;
+  i64 timeouts = 0;
+  i64 poisoned_waits = 0;
 
   [[nodiscard]] f64 total() const {
     return graph_gen + partitioner + inspector + remap + executor;
@@ -98,6 +104,19 @@ void print_header(const std::string& title,
                   const std::vector<std::string>& columns);
 void print_row(const std::string& label, const std::vector<f64>& measured,
                const std::vector<f64>& paper);
-void print_footer();
+/// Prints the modeled-time note plus a robustness line (aggregate the
+/// PhaseResult counters over every run the table made; all-zero is the
+/// healthy-bench signature and is printed as such).
+void print_footer(i64 faults_injected = 0, i64 timeouts = 0,
+                  i64 poisoned_waits = 0);
+
+/// Folds one run's robustness counters into a table-wide tally for
+/// print_footer.
+inline void accumulate_robustness(const PhaseResult& r, i64& faults_injected,
+                                  i64& timeouts, i64& poisoned_waits) {
+  faults_injected += r.faults_injected;
+  timeouts += r.timeouts;
+  poisoned_waits += r.poisoned_waits;
+}
 
 }  // namespace chaos::bench

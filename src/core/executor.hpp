@@ -93,8 +93,10 @@ inline void check_schedule(const CommSchedule& schedule, i64 nlocal,
               std::string(who) +
                   ": ghost buffer size does not match schedule");
 #ifndef NDEBUG
-  CHAOS_CHECK(schedule.validate(),
-              std::string(who) + ": schedule failed consistency validation");
+  // Typed full validation (ScheduleInvalid names the violated invariant);
+  // per-sweep, so debug builds only — plan-build and trust boundaries run
+  // it always via validate_or_throw.
+  schedule.validate_or_throw(who);
 #endif
 }
 }  // namespace detail

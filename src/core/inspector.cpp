@@ -164,8 +164,10 @@ void localize_into(rt::Process& p, const dist::Distribution& d,
                     ws.counts_scratch_);
   schedule.nghost = total_ghost;
   schedule.nlocal_at_build = nlocal;
-  CHAOS_CHECK(schedule.validate(),
-              "inspector: peer requested an element I do not own");
+  // Always-on structural validation of the freshly built plan: a peer
+  // requesting an element outside my segment (or a broken prefix) surfaces
+  // here as a typed ScheduleInvalid instead of UB in the executor.
+  schedule.validate_or_throw("inspector");
 }
 
 }  // namespace detail

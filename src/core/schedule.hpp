@@ -12,11 +12,58 @@
 #pragma once
 
 #include <span>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "rt/types.hpp"
 
 namespace chaos::core {
+
+/// Typed outcome of CommSchedule validation. Schedules are long-lived and —
+/// in the multi-tenant arc — may arrive from a cache or another tenant, so
+/// a corrupted or stale plan must map to a named rejection rather than UB
+/// in the executor's unchecked pack loop.
+enum class ScheduleErrorCode : u8 {
+  Ok = 0,
+  PrefixShapeMismatch,  ///< send/recv prefixes disagree in length (P-consistency)
+  PrefixNotZeroBased,   ///< a prefix does not start at 0
+  PrefixNonMonotone,    ///< an offset decreases (negative segment count)
+  GhostCountMismatch,   ///< cached nghost != receive prefix total
+  IndexCountMismatch,   ///< send_indices length != send prefix total
+  IndexOutOfBounds,     ///< a send index falls outside [0, nlocal_at_build)
+};
+
+[[nodiscard]] constexpr const char* to_string(ScheduleErrorCode code) {
+  switch (code) {
+    case ScheduleErrorCode::Ok: return "ok";
+    case ScheduleErrorCode::PrefixShapeMismatch:
+      return "send/recv offset prefixes disagree in length";
+    case ScheduleErrorCode::PrefixNotZeroBased:
+      return "offset prefix does not start at zero";
+    case ScheduleErrorCode::PrefixNonMonotone:
+      return "offset prefix is not monotone (negative segment count)";
+    case ScheduleErrorCode::GhostCountMismatch:
+      return "cached nghost does not match the receive prefix";
+    case ScheduleErrorCode::IndexCountMismatch:
+      return "send_indices length does not match the send prefix";
+    case ScheduleErrorCode::IndexOutOfBounds:
+      return "send index outside the local segment at build time";
+  }
+  return "unknown schedule error";
+}
+
+/// Thrown by CommSchedule::validate_or_throw on the first violated
+/// invariant; carries the typed code plus where it tripped.
+class ScheduleInvalid : public ChaosError {
+ public:
+  ScheduleInvalid(const std::string& what, ScheduleErrorCode code,
+                  i64 position)
+      : ChaosError(what), code(code), position(position) {}
+
+  ScheduleErrorCode code;
+  i64 position;  ///< offending rank for prefix errors, flat index otherwise
+};
 
 struct CommSchedule {
   /// Flat CSR values: my local element indices peers asked for, grouped by
@@ -82,24 +129,68 @@ struct CommSchedule {
     return v;
   }
 
-  /// Full structural consistency check: monotone prefixes, cached nghost
-  /// matching the receive prefix, and every send index inside the local
-  /// segment. O(P + total_send); executors run it in debug builds only —
-  /// the hot path stays check-free in Release.
-  [[nodiscard]] bool validate() const {
-    if (send_offsets.size() != recv_offsets.size()) return false;
-    if (send_offsets.empty()) return nghost == 0 && send_indices.empty();
-    if (send_offsets[0] != 0 || recv_offsets[0] != 0) return false;
+  /// Outcome of check(): the first violated invariant plus where.
+  struct CheckResult {
+    ScheduleErrorCode code = ScheduleErrorCode::Ok;
+    i64 position = -1;  ///< rank for prefix errors, flat index otherwise
+    [[nodiscard]] bool ok() const { return code == ScheduleErrorCode::Ok; }
+  };
+
+  /// Full structural consistency check, always compiled in: offset
+  /// monotonicity, zero-based prefixes, P-consistency of the two prefixes,
+  /// cached nghost vs the receive prefix, and every send index inside the
+  /// local segment at build time. O(P + total_send) — cheap enough to run
+  /// once per plan build or on any schedule that crosses a trust boundary
+  /// (cache hit, deserialized plan, another tenant); executors keep the
+  /// per-sweep call debug-only so the hot path stays check-free in Release.
+  [[nodiscard]] CheckResult check() const {
+    if (send_offsets.size() != recv_offsets.size()) {
+      return {ScheduleErrorCode::PrefixShapeMismatch, 0};
+    }
+    if (send_offsets.empty()) {
+      if (nghost != 0) return {ScheduleErrorCode::GhostCountMismatch, 0};
+      if (!send_indices.empty()) {
+        return {ScheduleErrorCode::IndexCountMismatch, 0};
+      }
+      return {};
+    }
+    if (send_offsets[0] != 0 || recv_offsets[0] != 0) {
+      return {ScheduleErrorCode::PrefixNotZeroBased, 0};
+    }
     for (std::size_t r = 1; r < send_offsets.size(); ++r) {
-      if (send_offsets[r] < send_offsets[r - 1]) return false;
-      if (recv_offsets[r] < recv_offsets[r - 1]) return false;
+      if (send_offsets[r] < send_offsets[r - 1] ||
+          recv_offsets[r] < recv_offsets[r - 1]) {
+        return {ScheduleErrorCode::PrefixNonMonotone,
+                static_cast<i64>(r) - 1};
+      }
     }
-    if (nghost != recv_offsets[recv_offsets.size() - 1]) return false;
-    if (static_cast<i64>(send_indices.size()) != total_send()) return false;
-    for (i64 l : send_indices) {
-      if (l < 0 || l >= nlocal_at_build) return false;
+    if (nghost != recv_offsets[recv_offsets.size() - 1]) {
+      return {ScheduleErrorCode::GhostCountMismatch, nghost};
     }
-    return true;
+    if (static_cast<i64>(send_indices.size()) != total_send()) {
+      return {ScheduleErrorCode::IndexCountMismatch,
+              static_cast<i64>(send_indices.size())};
+    }
+    for (std::size_t k = 0; k < send_indices.size(); ++k) {
+      if (send_indices[k] < 0 || send_indices[k] >= nlocal_at_build) {
+        return {ScheduleErrorCode::IndexOutOfBounds, static_cast<i64>(k)};
+      }
+    }
+    return {};
+  }
+
+  /// Boolean convenience over check().
+  [[nodiscard]] bool validate() const { return check().ok(); }
+
+  /// Rejects an untrusted/corrupted schedule with a typed ScheduleInvalid
+  /// naming the violated invariant; @p who labels the caller in the message.
+  void validate_or_throw(const char* who) const {
+    const CheckResult r = check();
+    if (r.ok()) return;
+    std::ostringstream os;
+    os << who << ": invalid communication schedule — " << to_string(r.code)
+       << " (at " << r.position << ")";
+    throw ScheduleInvalid(os.str(), r.code, r.position);
   }
 };
 

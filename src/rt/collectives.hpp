@@ -39,8 +39,11 @@ inline void fused_sync(Process& p, f64 extra_us) {
 }
 
 /// Publishes a pointer through the rank's inline slot (pointer mode, for
-/// payloads that do not fit kBlackboardBytes).
+/// payloads that do not fit kBlackboardBytes). A named fault-injection
+/// site: a plan can kill or stall a rank at the instant it exposes caller
+/// memory to its peers.
 inline void bb_publish_ptr(Machine& m, int rank, u64 seq, const void* ptr) {
+  m.inject_point(FaultSite::BlackboardPublish, rank);
   std::memcpy(m.bb_slot(rank, seq), &ptr, sizeof(ptr));
 }
 
@@ -330,6 +333,7 @@ void alltoall(Process& p, std::span<const T> send, std::span<T> recv) {
   CHAOS_CHECK(static_cast<int>(send.size()) == p.nprocs() &&
                   static_cast<int>(recv.size()) == p.nprocs(),
               "alltoall: need exactly one slot per rank on both sides");
+  p.machine().inject_point(FaultSite::Alltoall, p.rank());
   ++p.stats().collectives;
   Machine& m = p.machine();
   const u64 seq = p.next_bb_seq();
@@ -383,6 +387,7 @@ void alltoallv_flat(Process& p, std::span<const T> send,
   CHAOS_CHECK(static_cast<i64>(send.size()) >= send_offsets[send_offsets.size() - 1] &&
                   static_cast<i64>(recv.size()) >= recv_offsets[recv_offsets.size() - 1],
               "alltoallv_flat: buffer smaller than its offset prefix claims");
+  p.machine().inject_point(FaultSite::AlltoallvFlat, p.rank());
   ++p.stats().collectives;
   Machine& m = p.machine();
   const u64 seq = p.next_bb_seq();
@@ -528,12 +533,24 @@ void exchange_csr(Process& p, std::span<const T> send,
   const std::span<i64> peer_counts(counts_scratch.data() + np, np);
   for (std::size_t r = 0; r < np; ++r) {
     my_counts[r] = send_offsets[r + 1] - send_offsets[r];
+    // Always-on (O(P), trivial next to the exchange itself): a non-monotone
+    // caller prefix would otherwise become a negative resize below.
+    CHAOS_CHECK(my_counts[r] >= 0,
+                "exchange_csr: negative send count — send_offsets prefix is "
+                "not monotone");
   }
   alltoall<i64>(p, my_counts, peer_counts);
   recv_offsets.resize(np + 1);
   recv_offsets[0] = 0;
   for (std::size_t r = 0; r < np; ++r) {
-    recv_offsets[r + 1] = recv_offsets[r] + peer_counts[r];
+    // The counts round carries peer-controlled input: reject negative
+    // counts and a prefix sum that would wrap i64 before they become an
+    // out-of-bounds receive buffer.
+    CHAOS_CHECK(peer_counts[r] >= 0,
+                "exchange_csr: peer sent a negative segment count");
+    CHAOS_CHECK(!__builtin_add_overflow(recv_offsets[r], peer_counts[r],
+                                        &recv_offsets[r + 1]),
+                "exchange_csr: receive prefix sum overflows i64");
   }
   recv.resize(static_cast<std::size_t>(recv_offsets[np]));
   alltoallv_flat<T>(p, send, send_offsets, recv, recv_offsets);

@@ -1,6 +1,7 @@
 #include "rt/machine.hpp"
 
 #include <bit>
+#include <chrono>
 
 namespace chaos::rt {
 
@@ -43,7 +44,8 @@ Machine::Machine(int nprocs, CostParams params)
   CHAOS_CHECK(nprocs >= 1, "machine needs at least one process");
   mailboxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
-    mailboxes_.push_back(std::make_unique<Mailbox>(nprocs, poisoned_));
+    mailboxes_.push_back(
+        std::make_unique<Mailbox>(nprocs, poisoned_, poisoned_waits_));
   }
   workers_.reserve(static_cast<std::size_t>(nprocs > 1 ? nprocs - 1 : 0));
   for (int r = 1; r < nprocs; ++r) {
@@ -60,7 +62,15 @@ Machine::~Machine() {
   for (auto& t : workers_) t.join();
 }
 
-void Machine::wait_epoch(std::atomic<u32>& epoch, u32 target) {
+void Machine::wait_epoch(std::atomic<u32>& epoch, u32 target, int rank,
+                         f64 now_us) {
+  // Snapshot the deadline once per wait: 0 keeps the futex fast path
+  // byte-for-byte (no clock reads, no extra state); a positive deadline
+  // swaps only the terminal futex sleep for a bounded poll — spins and
+  // yields are unchanged, so the uncontended latency is identical.
+  const f64 deadline = deadline_sec_.load(std::memory_order_relaxed);
+  std::chrono::steady_clock::time_point wait_start{};
+  bool timing = false;
   int spins = 0;
   int yields = 0;
   u32 seen;
@@ -72,29 +82,60 @@ void Machine::wait_epoch(std::atomic<u32>& epoch, u32 target) {
     } else if (yields < yield_limit_) {
       ++yields;
       std::this_thread::yield();
-    } else {
+    } else if (deadline <= 0.0) {
       // Futex sleep until the cell changes. poison() cannot just notify —
       // a notify between our poison check and this wait would be missed —
       // so it also stores a sentinel epoch into the cell, changing the
       // waited-on value itself.
       epoch.wait(seen, std::memory_order_acquire);
+    } else {
+      // Watchdog mode: std::atomic::wait has no timeout, so poll on a
+      // short sleep and raise the typed timeout when the deadline passes.
+      const auto now = std::chrono::steady_clock::now();
+      if (!timing) {
+        wait_start = now;
+        timing = true;
+      } else if (std::chrono::duration<f64>(now - wait_start).count() >=
+                 deadline) {
+        // Name the stragglers: every rank whose own pass counter has not
+        // reached this pass never arrived (arrivals bump the counter
+        // before folding, so waiting peers all read >= target).
+        std::vector<int> missing;
+        for (int r = 0; r < nprocs_; ++r) {
+          if (rank_state_[static_cast<std::size_t>(r)].barrier_epoch.load(
+                  std::memory_order_relaxed) < target) {
+            missing.push_back(r);
+          }
+        }
+        note_timeout();
+        std::ostringstream os;
+        os << "barrier watchdog: rank " << rank << " waited " << deadline
+           << "s at epoch " << target << " (virtual clock " << now_us
+           << "us); missing ranks:";
+        for (int r : missing) os << ' ' << r;
+        throw MachineTimeout(os.str(), std::move(missing), target, now_us);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
   // Checked on EVERY exit, fast path included: the poison sentinel
   // satisfies any epoch target, and a rank must never mistake a poisoned
   // release for a completed reduction.
   if (poisoned_.load(std::memory_order_acquire)) {
+    note_poisoned_wait();
     throw MachinePoisoned("machine poisoned: a sibling rank threw");
   }
 }
 
-f64 Machine::barrier_reduce_max(int rank, f64 value) {
+f64 Machine::barrier_reduce_max(int rank, f64 value, f64 now_us) {
+  inject_point(FaultSite::BarrierArrive, rank);
   if (nprocs_ == 1) return value;
   if (poisoned_.load(std::memory_order_acquire)) {
     throw MachinePoisoned("machine poisoned: a sibling rank threw");
   }
   RankState& me = rank_state_[static_cast<std::size_t>(rank)];
-  const u32 n = ++me.barrier_epoch;
+  const u32 n = me.barrier_epoch.load(std::memory_order_relaxed) + 1;
+  me.barrier_epoch.store(n, std::memory_order_relaxed);
   const std::size_t parity = n & 1;
   ArrivalCell& cell = arrival_[parity];
   BarrierSlot& rel = release_[parity];
@@ -120,7 +161,7 @@ f64 Machine::barrier_reduce_max(int rank, f64 value) {
     rel.epoch.notify_all();
     return rel.value;
   }
-  wait_epoch(rel.epoch, n);
+  wait_epoch(rel.epoch, n, rank, now_us);
   return rel.value;
 }
 
@@ -180,9 +221,14 @@ void Machine::reset_for_run() {
   // next dispatch by the same mutex.
   poisoned_.store(false, std::memory_order_relaxed);
   first_error_ = nullptr;
+  faults_injected_.store(0, std::memory_order_relaxed);
+  timeouts_.store(0, std::memory_order_relaxed);
+  poisoned_waits_.store(0, std::memory_order_relaxed);
   for (auto& s : stats_) s = MessageStats{};
   for (auto& c : final_clock_us_) c = 0.0;
-  for (auto& rs : rank_state_) rs.barrier_epoch = 0;
+  for (auto& rs : rank_state_) {
+    rs.barrier_epoch.store(0, std::memory_order_relaxed);
+  }
   for (auto& cell : arrival_) {
     cell.max_bits.store(0, std::memory_order_relaxed);
     cell.arrived.store(0, std::memory_order_relaxed);
@@ -225,6 +271,12 @@ void Machine::run(int nprocs, const std::function<void(Process&)>& body,
 MessageStats Machine::total_stats() const {
   MessageStats total;
   for (const auto& s : stats_) total += s;
+  // The robustness events fire inside Machine/Mailbox waits, below the
+  // per-Process stats objects, so they are tracked machine-wide and folded
+  // into the aggregate here.
+  total.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  total.timeouts = timeouts_.load(std::memory_order_relaxed);
+  total.poisoned_waits = poisoned_waits_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "rt/cost_model.hpp"
+#include "rt/fault.hpp"
 #include "rt/mailbox.hpp"
 #include "rt/stats.hpp"
 #include "rt/types.hpp"
@@ -62,11 +63,60 @@ class Machine {
   [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] const CostParams& params() const { return params_; }
 
-  /// Aggregated per-process statistics of the last run().
+  /// Aggregated per-process statistics of the last run(), including the
+  /// machine-level fault/timeout/poisoned-wait counters (DESIGN.md §10).
   [[nodiscard]] MessageStats total_stats() const;
   [[nodiscard]] const MessageStats& stats_of(int rank) const;
   /// Maximum virtual time over all processes at the end of the last run().
   [[nodiscard]] f64 max_virtual_time_us() const;
+
+  // --- robustness: fault injection and deadlines ---------------------------
+
+  /// Installs (or, with nullptr, removes) a fault plan. The plan must
+  /// outlive its installation and must not be mutated while a run is
+  /// active; it is NOT cleared between runs, so a multi-run bench can keep
+  /// one armed plan. With no plan installed every injection site is a
+  /// relaxed load + null test — modeled clocks are byte-identical either
+  /// way, since faults never charge virtual time.
+  void install_fault_plan(FaultPlan* plan) {
+    fault_plan_.store(plan, std::memory_order_release);
+  }
+  [[nodiscard]] FaultPlan* fault_plan() const {
+    return fault_plan_.load(std::memory_order_acquire);
+  }
+
+  /// The substrate's instrumentation hook: every named FaultSite funnels
+  /// through here. No-op (one relaxed pointer load) unless a plan is
+  /// installed; otherwise may throw, sleep, or stall per the plan.
+  void inject_point(FaultSite site, int rank) {
+    FaultPlan* plan = fault_plan_.load(std::memory_order_relaxed);
+    if (plan == nullptr) [[likely]] return;
+    plan->on_visit(*this, site, rank);
+  }
+
+  /// Arms the watchdog: a barrier arrival or a default-deadline recv that
+  /// waits longer than @p seconds of wall-clock throws MachineTimeout
+  /// naming the missing ranks, barrier epoch, and virtual clock; the
+  /// timeout then poisons the siblings exactly like MachinePoisoned.
+  /// 0 (the default) disables all deadlines — the substrate waits forever
+  /// and the futex fast path is byte-for-byte the pre-watchdog one.
+  void set_deadline_sec(f64 seconds) {
+    deadline_sec_.store(seconds, std::memory_order_relaxed);
+  }
+  [[nodiscard]] f64 deadline_sec() const {
+    return deadline_sec_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool is_poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+  void note_fault_injected() {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void note_poisoned_wait() {
+    poisoned_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // --- internals shared with Process / collectives -------------------------
 
@@ -84,8 +134,11 @@ class Machine {
   /// RMW chain into the release word orders every pre-barrier write
   /// (blackboard deposits included) before every post-barrier read on every
   /// rank, which is what lets the blackboard slots stay plain bytes and
-  /// still run TSan-clean. Throws MachinePoisoned if a sibling rank failed.
-  f64 barrier_reduce_max(int rank, f64 value);
+  /// still run TSan-clean. Throws MachinePoisoned if a sibling rank failed,
+  /// MachineTimeout if a deadline is set and peers fail to arrive in time.
+  /// @p now_us is the caller's virtual clock, used only to stamp timeout
+  /// reports (never to decide anything).
+  f64 barrier_reduce_max(int rank, f64 value, f64 now_us = 0.0);
 
   /// Byte capacity of one inline blackboard slot; values up to this size are
   /// exchanged by copy (one barrier phase), larger payloads by pointer plus
@@ -144,18 +197,23 @@ class Machine {
     std::byte buf[kBlackboardBytes];
   };
 
-  /// Per-rank barrier pass counter; only its owning rank touches it, padded
-  /// so neighbors do not false-share.
+  /// Per-rank barrier pass counter; only its owning rank advances it
+  /// (relaxed — it carries no ordering), padded so neighbors do not
+  /// false-share. Atomic so the watchdog of a timing-out peer can read
+  /// every rank's arrival progress to name the stragglers.
   struct alignas(64) RankState {
-    u32 barrier_epoch = 0;
+    std::atomic<u32> barrier_epoch{0};
   };
 
   /// Acquire-waits until @p epoch reaches @p target: a short pause-spin for
   /// the runs-on-its-own-core case, a few yields, then a futex-backed
   /// atomic wait so oversubscribed hosts (64 logical ranks on a handful of
   /// cores) sleep instead of thrashing the scheduler. Checks the poison
-  /// flag throughout.
-  void wait_epoch(std::atomic<u32>& epoch, u32 target);
+  /// flag throughout. With a machine deadline set, the futex sleep becomes
+  /// a bounded poll and expiry throws MachineTimeout naming every rank
+  /// whose barrier_epoch has not reached @p target (@p rank / @p now_us
+  /// stamp the report).
+  void wait_epoch(std::atomic<u32>& epoch, u32 target, int rank, f64 now_us);
 
   void worker_loop(int rank);
   /// Runs @p body as @p rank, records stats/clock, and on exception stores
@@ -177,6 +235,11 @@ class Machine {
   std::vector<f64> final_clock_us_;
   std::atomic<u64> counter_{0};
   std::atomic<bool> poisoned_{false};
+  std::atomic<FaultPlan*> fault_plan_{nullptr};
+  std::atomic<f64> deadline_sec_{0.0};
+  std::atomic<i64> faults_injected_{0};
+  std::atomic<i64> timeouts_{0};
+  std::atomic<i64> poisoned_waits_{0};
 
   std::exception_ptr first_error_;
   std::mutex error_mutex_;
@@ -219,6 +282,7 @@ class Process {
   void send(int dest, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
     CHAOS_CHECK(dest >= 0 && dest < nprocs(), "send: bad destination rank");
+    machine_->inject_point(FaultSite::MailboxPut, rank_);
     const i64 bytes = static_cast<i64>(data.size_bytes());
     clock_.charge(params().send_us(bytes));
     stats_.note_send(bytes);
@@ -238,12 +302,36 @@ class Process {
     send<T>(dest, tag, std::span<const T>(&value, 1));
   }
 
-  /// Blocking matched receive of a whole message from @p source.
+  /// Blocking matched receive of a whole message from @p source. Honors the
+  /// machine's default deadline (Machine::set_deadline_sec); with none set,
+  /// waits forever.
   template <typename T>
   std::vector<T> recv(int source, int tag) {
+    return recv_deadline<T>(source, tag, machine_->deadline_sec());
+  }
+
+  /// As recv(), but gives up after @p deadline_sec wall seconds with a
+  /// typed MachineTimeout (missing rank = @p source, epoch 0, this rank's
+  /// virtual clock). The timeout propagates out of the SPMD body and
+  /// poisons the siblings exactly like MachinePoisoned, so a service can
+  /// bound how long a lost message stalls the fleet. deadline_sec <= 0
+  /// waits forever.
+  template <typename T>
+  std::vector<T> recv_deadline(int source, int tag, f64 deadline_sec) {
     static_assert(std::is_trivially_copyable_v<T>);
     CHAOS_CHECK(source >= 0 && source < nprocs(), "recv: bad source rank");
-    RawMessage msg = machine_->mailbox(rank_).take(source, tag);
+    machine_->inject_point(FaultSite::MailboxRecv, rank_);
+    RawMessage msg;
+    if (!machine_->mailbox(rank_).take_deadline(source, tag, deadline_sec,
+                                                msg)) {
+      machine_->note_timeout();
+      std::ostringstream os;
+      os << "recv deadline expired: rank " << rank_ << " waited "
+         << deadline_sec << "s for a message from rank " << source
+         << " (tag " << tag << ", virtual clock " << clock_.now_us()
+         << "us)";
+      throw MachineTimeout(os.str(), {source}, /*epoch=*/0, clock_.now_us());
+    }
     CHAOS_CHECK(msg.payload.size() % sizeof(T) == 0,
                 "recv: payload size does not match element type");
     const i64 bytes = static_cast<i64>(msg.payload.size());
@@ -269,7 +357,7 @@ class Process {
   /// collectives::barrier instead).
   void barrier_sync_only() {
     ++stats_.barriers;
-    (void)machine_->barrier_reduce_max(rank_, 0.0);
+    (void)machine_->barrier_reduce_max(rank_, 0.0, clock_.now_us());
   }
 
   /// Fused synchronization phase: publishes this rank's virtual clock into
@@ -277,7 +365,8 @@ class Process {
   /// "equalize entering clocks" step in a single combining pass.
   [[nodiscard]] f64 barrier_clock_max() {
     ++stats_.barriers;
-    return machine_->barrier_reduce_max(rank_, clock_.now_us());
+    return machine_->barrier_reduce_max(rank_, clock_.now_us(),
+                                        clock_.now_us());
   }
 
   /// Collective sequence number, advanced once per blackboard collective.

@@ -1,9 +1,12 @@
 #include "rt/mailbox.hpp"
 
+#include <chrono>
+
 namespace chaos::rt {
 
-Mailbox::Mailbox(int nprocs, const std::atomic<bool>& poisoned)
-    : poisoned_(&poisoned) {
+Mailbox::Mailbox(int nprocs, const std::atomic<bool>& poisoned,
+                 std::atomic<i64>& poisoned_waits)
+    : poisoned_(&poisoned), poisoned_waits_(&poisoned_waits) {
   CHAOS_CHECK(nprocs >= 1, "mailbox needs at least one source slot");
   slots_.reserve(static_cast<std::size_t>(nprocs));
   for (int s = 0; s < nprocs; ++s) slots_.push_back(std::make_unique<Slot>());
@@ -24,6 +27,14 @@ void Mailbox::put(RawMessage msg) {
 }
 
 RawMessage Mailbox::take(int source, int tag) {
+  RawMessage msg;
+  // deadline <= 0 waits forever, so take_deadline can only return true here.
+  (void)take_deadline(source, tag, 0.0, msg);
+  return msg;
+}
+
+bool Mailbox::take_deadline(int source, int tag, f64 deadline_sec,
+                            RawMessage& out) {
   CHAOS_CHECK(source >= 0 && source < static_cast<int>(slots_.size()),
               "mailbox take: bad source rank");
   Slot& slot = *slots_[static_cast<std::size_t>(source)];
@@ -33,19 +44,34 @@ RawMessage Mailbox::take(int source, int tag) {
     return it != slot.queues.end() && !it->second.empty() ? &it->second
                                                          : nullptr;
   };
+  const bool bounded = deadline_sec > 0.0;
+  const auto expiry =
+      bounded ? std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::
+                                                   duration>(
+                        std::chrono::duration<f64>(deadline_sec))
+              : std::chrono::steady_clock::time_point::max();
   std::deque<RawMessage>* q = nullptr;
   while ((q = matched()) == nullptr) {
     if (poisoned_->load(std::memory_order_acquire)) {
+      poisoned_waits_->fetch_add(1, std::memory_order_relaxed);
       throw MachinePoisoned(
           "machine poisoned: a sibling rank threw while this rank was "
           "blocked in recv");
     }
-    slot.cv.wait(lock);
+    if (!bounded) {
+      slot.cv.wait(lock);
+    } else if (slot.cv.wait_until(lock, expiry) ==
+                   std::cv_status::timeout &&
+               matched() == nullptr &&
+               !poisoned_->load(std::memory_order_acquire)) {
+      return false;  // deadline expired with no matching message
+    }
   }
-  RawMessage msg = std::move(q->front());
+  out = std::move(q->front());
   q->pop_front();
   if (q->empty()) slot.queues.erase(tag);
-  return msg;
+  return true;
 }
 
 bool Mailbox::try_take(int source, int tag, RawMessage& out) {

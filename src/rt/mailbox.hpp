@@ -41,7 +41,10 @@ class Mailbox {
  public:
   /// @p poisoned is the owning machine's poison flag; take() rechecks it on
   /// every wakeup so a poisoned machine cannot leave a receiver blocked.
-  Mailbox(int nprocs, const std::atomic<bool>& poisoned);
+  /// @p poisoned_waits is the machine's released-by-poison tally, bumped
+  /// whenever a blocked take is cut short by poison.
+  Mailbox(int nprocs, const std::atomic<bool>& poisoned,
+          std::atomic<i64>& poisoned_waits);
 
   /// Deposits a message; wakes a receiver blocked on its source slot. Only
   /// the slot of msg.source is locked.
@@ -51,6 +54,15 @@ class Mailbox {
   /// removes it from the queue. Throws MachinePoisoned if a sibling rank
   /// failed while we were (or would be) waiting.
   RawMessage take(int source, int tag);
+
+  /// As take(), but gives up after @p deadline_sec wall seconds of waiting:
+  /// returns true with the message in @p out, or false on expiry (the
+  /// caller — Process::recv_deadline — owns raising the typed
+  /// MachineTimeout, since it knows the virtual clock). deadline_sec <= 0
+  /// waits forever, identical to take(). Still throws MachinePoisoned when
+  /// a sibling failed.
+  [[nodiscard]] bool take_deadline(int source, int tag, f64 deadline_sec,
+                                   RawMessage& out);
 
   /// Non-blocking variant; returns false if no matching message is queued.
   bool try_take(int source, int tag, RawMessage& out);
@@ -73,6 +85,7 @@ class Mailbox {
 
   std::vector<std::unique_ptr<Slot>> slots_;  // one per source rank
   const std::atomic<bool>* poisoned_;
+  std::atomic<i64>* poisoned_waits_;
 };
 
 }  // namespace chaos::rt

@@ -32,6 +32,15 @@ struct MessageStats {
   /// nested counters so benches can gate each protocol independently.
   i64 ttable_flat_calls = 0;
   i64 ttable_flat_wire_queries = 0;
+  /// Robustness counters (DESIGN.md §10), machine-level: faults fired by an
+  /// installed FaultPlan, deadline expiries that raised MachineTimeout, and
+  /// blocked waits released by poison instead of completing. Table runs must
+  /// show all three at zero by construction; the fault sweep shows them
+  /// nonzero. Aggregated into total_stats() only (the events happen inside
+  /// Machine/Mailbox waits, below the per-Process stats objects).
+  i64 faults_injected = 0;
+  i64 timeouts = 0;
+  i64 poisoned_waits = 0;
 
   void note_send(i64 bytes) {
     ++messages_sent;
@@ -59,6 +68,9 @@ struct MessageStats {
     tcache_misses += o.tcache_misses;
     ttable_flat_calls += o.ttable_flat_calls;
     ttable_flat_wire_queries += o.ttable_flat_wire_queries;
+    faults_injected += o.faults_injected;
+    timeouts += o.timeouts;
+    poisoned_waits += o.poisoned_waits;
     return *this;
   }
 };

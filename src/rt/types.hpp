@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace chaos {
 
@@ -29,6 +30,35 @@ class ChaosError : public std::runtime_error {
 /// waiter is released with this error and Machine::run rethrows the
 /// sibling's original exception.
 class MachinePoisoned : public ChaosError {
+ public:
+  using ChaosError::ChaosError;
+};
+
+/// Thrown when a blocked wait (barrier arrival watchdog, deadline-bearing
+/// recv) exceeds the machine's configured deadline: some sibling rank is
+/// stuck, too slow, or never going to send. Carries which ranks were still
+/// missing, the barrier pass (0 for point-to-point waits), and the waiting
+/// rank's virtual clock, so a long-running service can report exactly who
+/// stalled instead of hanging. Peers are subsequently poisoned exactly as
+/// for MachinePoisoned (the timeout propagates out of the SPMD body and
+/// Machine::execute poisons barrier + mailboxes).
+class MachineTimeout : public ChaosError {
+ public:
+  MachineTimeout(const std::string& what, std::vector<int> missing_ranks,
+                 u32 epoch, f64 virtual_time_us)
+      : ChaosError(what),
+        missing_ranks(std::move(missing_ranks)),
+        epoch(epoch),
+        virtual_time_us(virtual_time_us) {}
+
+  std::vector<int> missing_ranks;  ///< ranks that had not arrived / sent
+  u32 epoch = 0;                   ///< barrier pass number (0: not a barrier)
+  f64 virtual_time_us = 0.0;       ///< waiter's virtual clock at the timeout
+};
+
+/// Thrown by an armed FaultPlan Throw fault at its injection site; tests use
+/// the distinct type to tell the injected failure from collateral poisoning.
+class FaultInjected : public ChaosError {
  public:
   using ChaosError::ChaosError;
 };

@@ -394,6 +394,56 @@ TEST(Executor, ValidateCatchesCorruptSchedules) {
   EXPECT_FALSE(corrupt.validate());
 }
 
+TEST(Executor, CheckReportsTypedErrorCodesAndPositions) {
+  // The untrusted-input contract: every class of corruption maps to a named
+  // ScheduleErrorCode (first violation wins) with the offending position,
+  // and validate_or_throw surfaces it as a typed ScheduleInvalid.
+  core::CommSchedule s;
+  s.send_offsets = {0, 2, 3};
+  s.recv_offsets = {0, 1, 4};
+  s.send_indices = {0, 1, 2};
+  s.nghost = 4;
+  s.nlocal_at_build = 3;
+  ASSERT_EQ(s.check().code, core::ScheduleErrorCode::Ok);
+
+  auto corrupt = s;
+  corrupt.recv_offsets = {0, 1};  // prefixes disagree on P
+  EXPECT_EQ(corrupt.check().code,
+            core::ScheduleErrorCode::PrefixShapeMismatch);
+
+  corrupt = s;
+  corrupt.send_offsets = {1, 2, 3};
+  EXPECT_EQ(corrupt.check().code, core::ScheduleErrorCode::PrefixNotZeroBased);
+
+  corrupt = s;
+  corrupt.send_offsets = {0, 3, 2};
+  EXPECT_EQ(corrupt.check().code, core::ScheduleErrorCode::PrefixNonMonotone);
+  EXPECT_EQ(corrupt.check().position, 1);  // offending destination rank
+
+  corrupt = s;
+  corrupt.nghost = 5;
+  EXPECT_EQ(corrupt.check().code, core::ScheduleErrorCode::GhostCountMismatch);
+
+  corrupt = s;
+  corrupt.send_indices = {0, 1};
+  EXPECT_EQ(corrupt.check().code, core::ScheduleErrorCode::IndexCountMismatch);
+
+  corrupt = s;
+  corrupt.send_indices = {0, 1, 7};
+  EXPECT_EQ(corrupt.check().code, core::ScheduleErrorCode::IndexOutOfBounds);
+  EXPECT_EQ(corrupt.check().position, 2);  // flat index of the bad entry
+
+  try {
+    corrupt.validate_or_throw("test");
+    FAIL() << "validate_or_throw accepted a corrupt schedule";
+  } catch (const core::ScheduleInvalid& e) {
+    EXPECT_EQ(e.code, core::ScheduleErrorCode::IndexOutOfBounds);
+    EXPECT_EQ(e.position, 2);
+    EXPECT_NE(std::string(e.what()).find("test:"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("local segment"), std::string::npos);
+  }
+}
+
 TEST(Executor, ScheduleAccountingReadsCsrOffsets) {
   core::CommSchedule s;
   s.send_offsets = {0, 0, 3, 3, 5};  // sends to ranks 1 (3 words) and 3 (2)

@@ -177,3 +177,59 @@ TEST(Collectives, AlltoallvChargesPerMessage) {
     EXPECT_EQ(p.stats().messages_received, 3);
   });
 }
+
+TEST(ExchangeCsr, RoundTripsCountsAndPayload) {
+  constexpr int P = 4;
+  rt::Machine::run(P, [](rt::Process& p) {
+    // Rank r sends one element (value 100*r + d) to every destination d.
+    std::vector<i64> send(P), offsets(P + 1);
+    for (int d = 0; d < P; ++d) {
+      send[static_cast<std::size_t>(d)] = 100 * p.rank() + d;
+      offsets[static_cast<std::size_t>(d)] = d;
+    }
+    offsets[P] = P;
+    std::vector<i64> recv, recv_offsets, scratch;
+    rt::exchange_csr<i64>(p, send, offsets, recv, recv_offsets, scratch);
+    ASSERT_EQ(recv_offsets.size(), static_cast<std::size_t>(P) + 1);
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(P));
+    for (int s = 0; s < P; ++s) {
+      EXPECT_EQ(recv_offsets[static_cast<std::size_t>(s)], s);
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)], 100 * s + p.rank());
+    }
+  });
+}
+
+TEST(ExchangeCsr, RejectsNonMonotoneSendOffsets) {
+  // The counts round is derived from a caller-supplied prefix; a decreasing
+  // prefix means a negative segment count, which must be rejected BEFORE the
+  // counts alltoall (so every rank throws synchronously, in Release too —
+  // the check is always-on) instead of turning into a negative resize.
+  rt::Machine::run(2, [](rt::Process& p) {
+    const std::vector<i64> send(3, 7);
+    const std::vector<i64> offsets{2, 1, 3};  // 2 -> 1 decreases
+    std::vector<i64> recv, recv_offsets, scratch;
+    EXPECT_THROW(
+        rt::exchange_csr<i64>(p, send, offsets, recv, recv_offsets, scratch),
+        chaos::ChaosError);
+    rt::barrier(p);
+  });
+}
+
+TEST(ExchangeCsr, RejectsReceivePrefixOverflow) {
+  // Peer-controlled counts feed the receive prefix sum: claims that are
+  // individually representable but collectively wrap i64 must trip the
+  // overflow guard rather than become a bogus receive-buffer size. Both
+  // ranks claim kHuge words for rank 1, so rank 1's receive prefix wraps
+  // (the overflow guard) while rank 0 trips alltoallv_flat's buffer/prefix
+  // entry check — every rank throws before entering the payload round, so
+  // the body stays synchronous and nothing needs poisoning.
+  rt::Machine::run(2, [](rt::Process& p) {
+    constexpr i64 kHuge = i64{3} << 61;  // 2 x kHuge wraps i64
+    const std::vector<i64> offsets{0, 0, kHuge};
+    std::vector<i64> recv, recv_offsets, scratch;
+    EXPECT_THROW(rt::exchange_csr<i64>(p, std::span<const i64>{}, offsets,
+                                       recv, recv_offsets, scratch),
+                 chaos::ChaosError);
+    rt::barrier(p);
+  });
+}

@@ -164,6 +164,33 @@ TEST(Machine, ThrowingRankReleasesPeerBlockedInRecv) {
   EXPECT_TRUE(receiver_poisoned.load());
 }
 
+TEST(Machine, ThrowingRankReleasesPeersBlockedInAlltoallvFlat) {
+  // Regression for the fault-injection PR: a rank dying BETWEEN collectives
+  // leaves its peers inside alltoallv_flat's fused barrier phase (not a
+  // plain recv), and each of them must surface MachinePoisoned rather than
+  // wait for a publish that will never happen.
+  constexpr int P = 4;
+  std::atomic<int> poisoned_peers{0};
+  EXPECT_THROW(
+      rt::Machine::run(P,
+                       [&](rt::Process& p) {
+                         if (p.rank() == 2) throw chaos::ChaosError("boom");
+                         std::vector<i64> off(P + 1);
+                         for (std::size_t i = 0; i < off.size(); ++i) {
+                           off[i] = static_cast<i64>(i);
+                         }
+                         std::vector<double> send(P, 1.0), recv(P, 0.0);
+                         try {
+                           rt::alltoallv_flat<double>(p, send, off, recv, off);
+                         } catch (const chaos::MachinePoisoned&) {
+                           ++poisoned_peers;
+                           throw;
+                         }
+                       }),
+      chaos::ChaosError);
+  EXPECT_EQ(poisoned_peers.load(), P - 1);
+}
+
 TEST(Machine, BackToBackRunsResetStatsClocksAndMailboxes) {
   rt::Machine machine(2);
   machine.run([](rt::Process& p) {
