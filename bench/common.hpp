@@ -13,9 +13,11 @@
 #include "core/forall.hpp"
 #include "core/mapper.hpp"
 #include "core/reuse.hpp"
+#include "core/supervisor.hpp"
 #include "lang/interp.hpp"
 #include "lang/parser.hpp"
 #include "rt/collectives.hpp"
+#include "rt/retry.hpp"
 #include "workload/md.hpp"
 #include "workload/mesh.hpp"
 
@@ -52,6 +54,11 @@ struct PipelineConfig {
   /// paper-comparison rows. Default off: all existing configurations stay
   /// bit-identical.
   bool translation_cache = false;
+  /// Supervision policy for the pipeline run (DESIGN.md §11): the whole
+  /// body is one supervised phase, recovered + retried on transient
+  /// failures. The default (max_attempts = 1) never retries, so every
+  /// existing configuration behaves — and models — exactly as before.
+  rt::RetryPolicy retry{.max_attempts = 1};
 };
 
 struct PhaseResult {
@@ -69,10 +76,19 @@ struct PhaseResult {
   i64 alltoallv_bytes = 0;
   /// Robustness counters (machine-total, DESIGN.md §10). All three are 0 on
   /// a healthy bench run; nonzero means a fault plan fired, a watchdog
-  /// tripped, or a waiter was released by poison mid-pipeline.
+  /// tripped, or a waiter was released by poison mid-pipeline. The machine
+  /// counters reflect the FINAL attempt only (run() resets them), so a
+  /// recovered run reads clean here and reports its history through the
+  /// supervisor counters below.
   i64 faults_injected = 0;
   i64 timeouts = 0;
   i64 poisoned_waits = 0;
+  /// Supervision counters (DESIGN.md §11), from the pipeline's Supervisor:
+  /// attempts beyond the first, wall-clock backoff between them, and
+  /// whether the run ultimately recovered. All zero on a clean run.
+  i64 retries = 0;
+  i64 recoveries = 0;
+  f64 backoff_wall_ms = 0.0;
 
   [[nodiscard]] f64 total() const {
     return graph_gen + partitioner + inspector + remap + executor;
@@ -104,19 +120,33 @@ void print_header(const std::string& title,
                   const std::vector<std::string>& columns);
 void print_row(const std::string& label, const std::vector<f64>& measured,
                const std::vector<f64>& paper);
-/// Prints the modeled-time note plus a robustness line (aggregate the
-/// PhaseResult counters over every run the table made; all-zero is the
-/// healthy-bench signature and is printed as such).
-void print_footer(i64 faults_injected = 0, i64 timeouts = 0,
-                  i64 poisoned_waits = 0);
+/// Table-wide robustness tally: fault/watchdog counters (§10) plus the
+/// supervisor's retry counters (§11), aggregated over every run a table
+/// made. All-zero is the healthy-bench signature.
+struct RobustnessTally {
+  i64 faults_injected = 0;
+  i64 timeouts = 0;
+  i64 poisoned_waits = 0;
+  i64 retries = 0;
+  i64 recoveries = 0;
+  f64 backoff_wall_ms = 0.0;
 
-/// Folds one run's robustness counters into a table-wide tally for
-/// print_footer.
-inline void accumulate_robustness(const PhaseResult& r, i64& faults_injected,
-                                  i64& timeouts, i64& poisoned_waits) {
-  faults_injected += r.faults_injected;
-  timeouts += r.timeouts;
-  poisoned_waits += r.poisoned_waits;
-}
+  void add(const PhaseResult& r) {
+    faults_injected += r.faults_injected;
+    timeouts += r.timeouts;
+    poisoned_waits += r.poisoned_waits;
+    retries += r.retries;
+    recoveries += r.recoveries;
+    backoff_wall_ms += r.backoff_wall_ms;
+  }
+  [[nodiscard]] bool clean() const {
+    return faults_injected == 0 && timeouts == 0 && poisoned_waits == 0 &&
+           retries == 0 && recoveries == 0;
+  }
+};
+
+/// Prints the modeled-time note plus a robustness line (all-zero tally
+/// prints as "clean run").
+void print_footer(const RobustnessTally& tally = {});
 
 }  // namespace chaos::bench

@@ -46,7 +46,7 @@ int main() {
               "----------------------------------------------------------------"
               "------------------------------------");
 
-  chaos::i64 faults = 0, timeouts = 0, poisoned = 0;
+  bench::RobustnessTally tally;
   for (const auto& c : configs) {
     bench::PipelineConfig cfg;
     cfg.partitioner = "RCB";
@@ -56,8 +56,8 @@ int main() {
     const auto reuse = bench::run_hand_pipeline(c.procs, *c.w, cfg);
     cfg.schedule_reuse = false;
     const auto no_reuse = bench::run_hand_pipeline(c.procs, *c.w, cfg);
-    bench::accumulate_robustness(reuse, faults, timeouts, poisoned);
-    bench::accumulate_robustness(no_reuse, faults, timeouts, poisoned);
+    tally.add(reuse);
+    tally.add(no_reuse);
 
     std::printf("%-12s %5d | %9.1f %9.1f   | %9.1f %9.1f   | %6.1fx %6.1fx\n",
                 c.w->name.c_str(), c.procs, no_reuse.total(),
@@ -68,7 +68,7 @@ int main() {
   }
   std::printf("\nshape check (paper): reuse wins by 13x-47x; the factor grows "
               "with per-iteration inspector cost and shrinks with P.\n");
-  bench::print_footer(faults, timeouts, poisoned);
+  bench::print_footer(tally);
 
   // CHAOS-style software caching on the no-reuse column — NOT a paper row:
   // the translation cache absorbs the warm locate rounds each re-inspection

@@ -98,11 +98,11 @@ int main(int argc, char** argv) {
                   std::max(rcb_hand.partitioner + rcb_hand.graph_gen, 1e-9));
   std::printf("  no-reuse / reuse (RCB comp)  : %.1f (paper ~17.8)\n",
               rcb_comp_nr.total() / rcb_comp.total());
-  chaos::i64 faults = 0, timeouts = 0, poisoned = 0;
+  bench::RobustnessTally tally;
   for (const auto* r : {&rcb_comp, &rcb_comp_nr, &rcb_hand, &block_hand,
                         &rsb_hand, &rsb_comp}) {
-    bench::accumulate_robustness(*r, faults, timeouts, poisoned);
+    tally.add(*r);
   }
-  bench::print_footer(faults, timeouts, poisoned);
+  bench::print_footer(tally);
   return 0;
 }

@@ -15,7 +15,7 @@ namespace {
 // and the surrounding rows constrain them; see EXPERIMENTS.md).
 // Machine-total robustness tally across every pipeline the table runs
 // (printed by the footer; all-zero on a healthy bench).
-chaos::i64 g_faults = 0, g_timeouts = 0, g_poisoned = 0;
+chaos::bench::RobustnessTally g_tally;
 
 struct PaperColumn {
   f64 partitioner, inspector, remap, executor, total;
@@ -31,8 +31,7 @@ void run_workload(const bench::Workload& w, const int (&procs)[3],
     cfg.iterations = 100;
     cfg.schedule_reuse = true;
     results.push_back(bench::run_hand_pipeline(procs[k], w, cfg));
-    bench::accumulate_robustness(results.back(), g_faults, g_timeouts,
-                                 g_poisoned);
+    g_tally.add(results.back());
     headers.push_back("P=" + std::to_string(procs[k]));
   }
   bench::print_header("Table 3 — " + w.name + " (RCB + schedule reuse)",
@@ -91,6 +90,6 @@ int main() {
   std::printf("\nshape check (paper): executor dominates the total; "
               "partitioner cost is small and roughly flat in P; inspector "
               "and remap shrink with P.\n");
-  bench::print_footer(g_faults, g_timeouts, g_poisoned);
+  bench::print_footer(g_tally);
   return 0;
 }

@@ -14,7 +14,7 @@ namespace {
 
 // Machine-total robustness tally across every pipeline the table runs
 // (printed by the footer; all-zero on a healthy bench).
-chaos::i64 g_faults = 0, g_timeouts = 0, g_poisoned = 0;
+chaos::bench::RobustnessTally g_tally;
 
 struct PaperColumn {
   f64 inspector, remap, executor, total;
@@ -30,8 +30,7 @@ void run_workload(const bench::Workload& w, const int (&procs)[3],
     cfg.iterations = 100;
     cfg.schedule_reuse = true;
     results.push_back(bench::run_hand_pipeline(procs[k], w, cfg));
-    bench::accumulate_robustness(results.back(), g_faults, g_timeouts,
-                                 g_poisoned);
+    g_tally.add(results.back());
     headers.push_back("P=" + std::to_string(procs[k]));
   }
   bench::print_header("Table 4 — " + w.name + " (BLOCK + schedule reuse)",
@@ -85,6 +84,6 @@ int main() {
   std::printf("\nshape check (paper): BLOCK executor is 2-3x slower than "
               "RCB's (Table 3) on the meshes; totals 38-83s vs 17-30s on the "
               "53K mesh.\n");
-  bench::print_footer(g_faults, g_timeouts, g_poisoned);
+  bench::print_footer(g_tally);
   return 0;
 }

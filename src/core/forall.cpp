@@ -7,6 +7,7 @@ std::shared_ptr<EdgeLoopPlan> EdgeReductionLoop::inspect(
     std::span<const i64> ept1, std::span<const i64> ept2,
     const dist::Distribution& data_dist, IterRule rule) {
   auto plan = std::make_shared<EdgeLoopPlan>();
+  plan->build.begin_build();
 
   // Phase B: iteration partition from the references' homes.
   const std::span<const i64> batches[] = {ept1, ept2};
@@ -21,6 +22,7 @@ std::shared_ptr<EdgeLoopPlan> EdgeReductionLoop::inspect(
   // workspace.
   const std::span<const i64> remapped[] = {plan->end1, plan->end2};
   localize_many(p, data_dist, remapped, plan->iws, plan->loc);
+  plan->build.mark_built();
   return plan;
 }
 
@@ -30,6 +32,7 @@ std::shared_ptr<SingleStatementPlan> SingleStatementLoop::inspect(
     const dist::Distribution& y_dist, const dist::Distribution& x_dist,
     IterRule rule) {
   auto plan = std::make_shared<SingleStatementPlan>();
+  plan->build.begin_build();
 
   // Vote with every reference of the iteration: the LHS against y's
   // distribution contributes one vote, the RHS references against x's.
@@ -45,6 +48,7 @@ std::shared_ptr<SingleStatementPlan> SingleStatementLoop::inspect(
   localize(p, y_dist, plan->ia, plan->lhs_iws, plan->lhs);
   const std::span<const i64> rhs[] = {plan->ib, plan->ic};
   localize_many(p, x_dist, rhs, plan->iws, plan->rhs);
+  plan->build.mark_built();
   return plan;
 }
 

@@ -41,6 +41,9 @@ struct EdgeLoopPlan {
   /// inspector every sweep — re-localize through warm buffers; attach a
   /// dist::TranslationCache to also skip warm locate rounds.
   InspectorWorkspace iws;
+  /// Build validity stamp: a failed (thrown-through) inspection leaves the
+  /// plan not ready and execute() refuses it (DESIGN.md §11).
+  PlanBuildState build;
 
   [[nodiscard]] i64 my_iterations() const {
     return static_cast<i64>(end1.size());
@@ -67,6 +70,9 @@ class EdgeReductionLoop {
                       dist::DistributedArray<f64>& x,
                       dist::DistributedArray<f64>& y, F&& f, G&& g,
                       f64 flops_per_edge = 30.0) {
+    CHAOS_CHECK(plan.build.ready(),
+                "EdgeReductionLoop::execute: plan build incomplete — a "
+                "failed inspection must be retried before executing");
     gather_ghosts(p, plan.loc.schedule, x, plan.ws);
     const std::span<f64> y_ghost_acc =
         plan.ws.ghost_accumulator(plan.loc.schedule, 0.0);
@@ -110,6 +116,8 @@ struct SingleStatementPlan {
   /// differently.
   InspectorWorkspace iws;
   InspectorWorkspace lhs_iws;
+  /// Build validity stamp (see EdgeLoopPlan::build).
+  PlanBuildState build;
 
   [[nodiscard]] i64 my_iterations() const {
     return static_cast<i64>(ia.size());
@@ -132,6 +140,9 @@ class SingleStatementLoop {
                       dist::DistributedArray<f64>& y,
                       dist::DistributedArray<f64>& x, F&& f,
                       f64 flops_per_iter = 10.0) {
+    CHAOS_CHECK(plan.build.ready(),
+                "SingleStatementLoop::execute: plan build incomplete — a "
+                "failed inspection must be retried before executing");
     gather_ghosts(p, plan.rhs.schedule, x, plan.ws);
     const std::span<f64> y_ghost =
         plan.ws.ghost_accumulator(plan.lhs.schedule, 0.0);

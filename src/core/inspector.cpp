@@ -59,6 +59,11 @@ void localize_into(rt::Process& p, const dist::Distribution& d,
     CHAOS_CHECK(cache->accepts(d.dad()),
                 "inspector: translation cache is bound to a different "
                 "distribution instance — rebind after REDISTRIBUTE");
+    // Attempt quarantine: insertions from a previous localize that threw
+    // mid-exchange are still staged — drop them, so a retried attempt sees
+    // exactly the committed (pre-failure) cache state and its miss vote,
+    // locate round, and modeled clocks match a clean run bit for bit.
+    cache->discard_staged();
     ws.entries_.resize(static_cast<std::size_t>(distinct));
     ws.miss_ids_.clear();
     ws.miss_globals_.clear();
@@ -84,7 +89,10 @@ void localize_into(rt::Process& p, const dist::Distribution& d,
       for (std::size_t j = 0; j < ws.miss_ids_.size(); ++j) {
         const auto k = static_cast<std::size_t>(ws.miss_ids_[j]);
         ws.entries_[k] = ws.miss_entries_[j];
-        cache->put(ws.distinct_[k], ws.miss_entries_[j]);
+        // Staged, not put: published only after the schedule validates at
+        // the end of this localize (commit below), so an aborted attempt
+        // cannot pre-warm the cache.
+        cache->stage_put(ws.distinct_[k], ws.miss_entries_[j]);
       }
     }
   } else {
@@ -168,6 +176,9 @@ void localize_into(rt::Process& p, const dist::Distribution& d,
   // requesting an element outside my segment (or a broken prefix) surfaces
   // here as a typed ScheduleInvalid instead of UB in the executor.
   schedule.validate_or_throw("inspector");
+  // The attempt is known-good: publish this localize's staged cache
+  // insertions (no-op without a cache or when everything hit).
+  if (cache != nullptr) cache->commit_staged();
 }
 
 }  // namespace detail

@@ -65,6 +65,27 @@ class ScheduleInvalid : public ChaosError {
   i64 position;  ///< offending rank for prefix errors, flat index otherwise
 };
 
+/// Generation/validity stamp carried by every inspector plan
+/// (EdgeLoopPlan / SingleStatementPlan / lang LoopPlan). A build that
+/// throws partway — a fault mid-exchange, a timeout — leaves the plan NOT
+/// ready: begin_build() clears the bit before any schedule state is
+/// touched and only a completed build sets it back. Executors refuse a
+/// not-ready plan with a typed error, so a recovered attempt is forced to
+/// re-inspect instead of sweeping through a half-built CommSchedule
+/// (DESIGN.md §11). The generation counter exists for diagnostics and
+/// cache-coherency tests: it counts build ATTEMPTS, not successes.
+struct PlanBuildState {
+  u64 generation = 0;
+  bool complete = false;
+
+  void begin_build() {
+    complete = false;
+    ++generation;
+  }
+  void mark_built() { complete = true; }
+  [[nodiscard]] bool ready() const { return complete; }
+};
+
 struct CommSchedule {
   /// Flat CSR values: my local element indices peers asked for, grouped by
   /// destination rank ascending. Segment [send_offsets[d], send_offsets[d+1])

@@ -1,0 +1,47 @@
+#include "core/supervisor.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace chaos::core {
+
+Supervisor::Supervisor(rt::Machine& machine, rt::RetryPolicy policy)
+    : machine_(&machine), policy_(policy) {
+  CHAOS_CHECK(policy_.max_attempts >= 1,
+              "supervisor: policy needs at least one attempt");
+}
+
+void Supervisor::run_phase(const char* phase_name,
+                           const std::function<void(rt::Process&)>& body) {
+  (void)phase_name;
+  int failed = 0;
+  while (true) {
+    ++stats_.attempts;
+    try {
+      machine_->run(body);
+      ++stats_.phases;
+      if (failed > 0) ++stats_.recoveries;
+      return;
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      ++failed;
+      // Always recover: even on the rethrow path the caller gets back a
+      // certified-clean machine, and the drained-message count of every
+      // failed attempt is recorded.
+      stats_.messages_drained += machine_->recover();
+      if (!rt::is_retryable(error) || failed >= policy_.max_attempts) {
+        ++stats_.gave_up;
+        std::rethrow_exception(error);
+      }
+      ++stats_.retries;
+      const f64 ms = policy_.backoff_ms(failed);
+      stats_.backoff_wall_ms += ms;
+      if (ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<f64, std::milli>(ms));
+      }
+    }
+  }
+}
+
+}  // namespace chaos::core

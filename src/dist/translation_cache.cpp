@@ -31,6 +31,8 @@ void TranslationCache::bind(const Dad& dad, u64 stamp) {
   bound_ = true;
   dad_ = dad;
   stamp_ = stamp;
+  // Anything staged was translated against the previous binding.
+  discard_staged();
 }
 
 void TranslationCache::invalidate() {
@@ -40,6 +42,7 @@ void TranslationCache::invalidate() {
   bound_ = false;
   dad_ = Dad{};
   stamp_ = 0;
+  discard_staged();
 }
 
 bool TranslationCache::try_get(i64 g, Entry& out) {
@@ -84,6 +87,26 @@ void TranslationCache::put(i64 g, const Entry& e) {
   slot_val_[empty] = e;
   slot_epoch_[empty] = epoch_;
   ++stats_.insertions;
+}
+
+void TranslationCache::stage_put(i64 g, const Entry& e) {
+  staged_keys_.push_back(g);
+  staged_vals_.push_back(e);
+}
+
+void TranslationCache::commit_staged() {
+  for (std::size_t k = 0; k < staged_keys_.size(); ++k) {
+    put(staged_keys_[k], staged_vals_[k]);
+  }
+  stats_.staged_commits += static_cast<i64>(staged_keys_.size());
+  staged_keys_.clear();
+  staged_vals_.clear();
+}
+
+void TranslationCache::discard_staged() {
+  stats_.staged_discards += static_cast<i64>(staged_keys_.size());
+  staged_keys_.clear();
+  staged_vals_.clear();
 }
 
 }  // namespace chaos::dist

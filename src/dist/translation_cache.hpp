@@ -29,6 +29,8 @@ class TranslationCache {
     i64 insertions = 0;
     i64 evictions = 0;  ///< inserts that displaced a live entry (table full)
     i64 flushes = 0;    ///< rebinds/invalidations that dropped all entries
+    i64 staged_commits = 0;   ///< staged entries published by commit_staged
+    i64 staged_discards = 0;  ///< staged entries dropped by discard_staged
   };
 
   /// @p capacity is rounded up to a power of two (minimum 16) and fixed for
@@ -60,6 +62,26 @@ class TranslationCache {
   /// neighborhood evicts the home slot instead of growing the table.
   void put(i64 g, const Entry& e);
 
+  // --- attempt quarantine (DESIGN.md §11) ----------------------------------
+  // A retried inspection must not see insertions from the aborted attempt:
+  // a pre-warmed cache would change the miss vote and the locate round, so
+  // the successful retry's modeled clocks would diverge from a clean run.
+  // The inspector therefore STAGES insertions during localization and
+  // publishes them only after the schedule validates.
+
+  /// Appends (g, e) to the staging area without touching the table. The
+  /// staging vectors keep their capacity across clears, so warm attempts
+  /// stage without allocating.
+  void stage_put(i64 g, const Entry& e);
+  /// Publishes every staged entry through put() and empties the staging
+  /// area. Call after the attempt's product is known-good.
+  void commit_staged();
+  /// Drops every staged entry (the aborted attempt's quarantine).
+  void discard_staged();
+  [[nodiscard]] i64 staged() const {
+    return static_cast<i64>(staged_keys_.size());
+  }
+
   [[nodiscard]] i64 capacity() const { return static_cast<i64>(mask_ + 1); }
   [[nodiscard]] i64 size() const { return size_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -86,6 +108,8 @@ class TranslationCache {
   Dad dad_;
   u64 stamp_ = 0;
 
+  std::vector<i64> staged_keys_;    // clear-not-shrink: warm staging is
+  std::vector<Entry> staged_vals_;  // allocation-free
   Stats stats_;
 };
 

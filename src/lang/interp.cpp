@@ -126,6 +126,9 @@ struct LoopPlan {
 
   i64 expr_flops_per_iter = 0;
   i64 mem_refs_per_iter = 0;
+  /// Build validity stamp: a failed (thrown-through) build_loop_plan leaves
+  /// the plan not ready and execute_loop refuses it (DESIGN.md §11).
+  core::PlanBuildState build;
 };
 
 struct Instance::State {
@@ -402,6 +405,7 @@ std::shared_ptr<LoopPlan> build_loop_plan(ForallContext& ctx,
   Instance::State& st = *ctx.st;
   const Forall& f = *ctx.f;
   auto plan = std::make_shared<LoopPlan>();
+  plan->build.begin_build();
 
   // ---- analysis ------------------------------------------------------------
   ExprScan scan;
@@ -617,6 +621,7 @@ std::shared_ptr<LoopPlan> build_loop_plan(ForallContext& ctx,
     }
     phases.inspector += section.elapsed_sec();
   }
+  plan->build.mark_built();
   return plan;
 }
 
@@ -682,6 +687,9 @@ f64 eval_code(const std::vector<LoopPlan::Instr>& code,
 /// Executes one FORALL through its plan (phase E). Collective.
 void execute_loop(rt::Process& p, const Forall& f, LoopPlan& plan,
                   Instance::State& st) {
+  CHAOS_CHECK(plan.build.ready(),
+              "execute_loop: plan build incomplete — a failed inspection "
+              "must be retried before executing");
   // Gather ghosts for every read array.
   for (std::size_t k = 0; k < plan.reads_data.size(); ++k) {
     auto* a = const_cast<ArrayInfo*>(plan.reads_data[k]);

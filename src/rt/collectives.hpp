@@ -522,6 +522,14 @@ std::vector<T> scatterv(Process& p, const std::vector<std::vector<T>>& blocks,
 /// CSR-forming exchange of the tree — the inspector's ghost requests,
 /// geocol's half-edges, and the flat dereference's request round all drive
 /// it, so the counts+payload protocol exists exactly once.
+///
+/// Exception safety (DESIGN.md §11): a throw anywhere mid-collective — a
+/// poisoned sibling, a deadline timeout, an injected fault in the counts or
+/// payload round — leaves the caller-owned output CSR explicitly INVALID:
+/// @p recv and @p recv_offsets are cleared before the rethrow (capacity
+/// retained, so the warm path stays allocation-free). The outputs are never
+/// half-written; on return they are either the complete exchanged CSR or
+/// empty. @p counts_scratch is scratch and carries no contract.
 template <typename T>
 void exchange_csr(Process& p, std::span<const T> send,
                   std::span<const i64> send_offsets, std::vector<T>& recv,
@@ -539,21 +547,29 @@ void exchange_csr(Process& p, std::span<const T> send,
                 "exchange_csr: negative send count — send_offsets prefix is "
                 "not monotone");
   }
-  alltoall<i64>(p, my_counts, peer_counts);
-  recv_offsets.resize(np + 1);
-  recv_offsets[0] = 0;
-  for (std::size_t r = 0; r < np; ++r) {
-    // The counts round carries peer-controlled input: reject negative
-    // counts and a prefix sum that would wrap i64 before they become an
-    // out-of-bounds receive buffer.
-    CHAOS_CHECK(peer_counts[r] >= 0,
-                "exchange_csr: peer sent a negative segment count");
-    CHAOS_CHECK(!__builtin_add_overflow(recv_offsets[r], peer_counts[r],
-                                        &recv_offsets[r + 1]),
-                "exchange_csr: receive prefix sum overflows i64");
+  try {
+    alltoall<i64>(p, my_counts, peer_counts);
+    recv_offsets.resize(np + 1);
+    recv_offsets[0] = 0;
+    for (std::size_t r = 0; r < np; ++r) {
+      // The counts round carries peer-controlled input: reject negative
+      // counts and a prefix sum that would wrap i64 before they become an
+      // out-of-bounds receive buffer.
+      CHAOS_CHECK(peer_counts[r] >= 0,
+                  "exchange_csr: peer sent a negative segment count");
+      CHAOS_CHECK(!__builtin_add_overflow(recv_offsets[r], peer_counts[r],
+                                          &recv_offsets[r + 1]),
+                  "exchange_csr: receive prefix sum overflows i64");
+    }
+    recv.resize(static_cast<std::size_t>(recv_offsets[np]));
+    alltoallv_flat<T>(p, send, send_offsets, recv, recv_offsets);
+  } catch (...) {
+    // Mark the outputs invalid rather than half-written: the payload round
+    // may have deposited some peers' segments before the throw.
+    recv.clear();
+    recv_offsets.clear();
+    throw;
   }
-  recv.resize(static_cast<std::size_t>(recv_offsets[np]));
-  alltoallv_flat<T>(p, send, send_offsets, recv, recv_offsets);
 }
 
 /// Mints a machine-wide unique id, identical on every rank (rank 0 bumps the

@@ -87,11 +87,27 @@ void FaultPlan::on_visit(Machine& m, FaultSite site, int rank) {
           .per_site[static_cast<int>(site)]
           .fetch_add(1, std::memory_order_relaxed) +
       1;
+  // The armed flag must not survive ANY exit from this visit — in
+  // particular a Throw spec firing after an AllocFail spec armed would
+  // otherwise leave the flag set and fail an unrelated later allocation on
+  // this thread (e.g. inside a catch block building its error report).
+  struct DisarmGuard {
+    ~DisarmGuard() { t_alloc_fail_armed = false; }
+  } disarm_on_exit;
   for (const FaultSpec& s : specs_) {
     if (s.site != site) continue;
     if (s.rank >= 0 && s.rank != rank) continue;
     if (s.nth_visit != visit) continue;
     fire(m, s, rank, visit);
+  }
+  if (t_alloc_fail_armed) {
+    // Probe the allocator: a binary that hooks operator new (the PR 5
+    // counting-hook idiom) consumes the flag and throws bad_alloc from
+    // inside the allocator; a plain binary leaves the flag set and we
+    // model the failed allocation ourselves.
+    void* probe = ::operator new(1);
+    ::operator delete(probe);
+    if (fault_consume_alloc_fail()) throw std::bad_alloc();
   }
 }
 
@@ -119,15 +135,12 @@ void FaultPlan::fire(Machine& m, const FaultSpec& spec, int rank, u64 visit) {
       return;
     }
     case FaultKind::AllocFail: {
-      // Arm the thread-local flag, then probe the allocator: a binary that
-      // hooks operator new (the PR 5 counting-hook idiom) consumes the flag
-      // and throws bad_alloc from inside the allocator; a plain binary
-      // leaves the flag set and we model the failed allocation ourselves.
+      // Only ARM here; the probe (and the bad_alloc) happens at the end of
+      // on_visit, under its scope guard, after every spec for this visit
+      // has had its chance to fire. Splitting arm from probe is what makes
+      // the guard meaningful: no unwind path can leak the armed flag.
       t_alloc_fail_armed = true;
-      void* probe = ::operator new(1);
-      ::operator delete(probe);
-      if (fault_consume_alloc_fail()) throw std::bad_alloc();
-      return;  // unreachable in practice: the hook threw
+      return;
     }
     case FaultKind::Stall: {
       // Park until a sibling's watchdog times out and poisons the machine,

@@ -70,6 +70,10 @@ class FaultPlan {
   /// Counts the visit and fires every matching spec. Called by
   /// Machine::inject_point only when this plan is installed. May throw
   /// (Throw/AllocFail), sleep (Delay), or block until poison (Stall).
+  /// AllocFail specs only ARM during the spec loop; the allocator probe
+  /// runs once at the end of the visit under a scope guard that disarms
+  /// the thread-local flag on every exit — a Throw firing at the same
+  /// visit can never leak an armed AllocFail into later allocations.
   void on_visit(Machine& m, FaultSite site, int rank);
 
   /// Clears visit counters and the fired tally (not the specs); makes one

@@ -215,17 +215,17 @@ void Machine::worker_loop(int rank) {
   }
 }
 
-void Machine::reset_for_run() {
+i64 Machine::recover() {
   // Workers are parked (the previous run's completion handshake went
   // through pool_mutex_), so plain writes here are ordered before their
-  // next dispatch by the same mutex.
-  poisoned_.store(false, std::memory_order_relaxed);
-  first_error_ = nullptr;
-  faults_injected_.store(0, std::memory_order_relaxed);
-  timeouts_.store(0, std::memory_order_relaxed);
-  poisoned_waits_.store(0, std::memory_order_relaxed);
-  for (auto& s : stats_) s = MessageStats{};
-  for (auto& c : final_clock_us_) c = 0.0;
+  // next dispatch by the same mutex. Everything a failed run can leave
+  // dirty is reset: mailbox shards (counted — these are the undelivered
+  // in-flight messages), barrier pass counters and cells (a poisoned run
+  // abandons passes mid-fold), the sentinel-stamped release words, the
+  // blackboard bytes (a thrower may have deposited into a slot no one
+  // read), and the poison flag + stored first error.
+  i64 drained = 0;
+  for (auto& mb : mailboxes_) drained += mb->drain();
   for (auto& rs : rank_state_) {
     rs.barrier_epoch.store(0, std::memory_order_relaxed);
   }
@@ -235,7 +235,24 @@ void Machine::reset_for_run() {
   }
   release_[0].epoch.store(0, std::memory_order_relaxed);
   release_[1].epoch.store(0, std::memory_order_relaxed);
-  for (auto& mb : mailboxes_) mb->clear();
+  release_[0].value = 0.0;
+  release_[1].value = 0.0;
+  for (auto& slot : bb_) std::memset(slot.buf, 0, sizeof(slot.buf));
+  {
+    std::lock_guard lock(error_mutex_);
+    first_error_ = nullptr;
+  }
+  poisoned_.store(false, std::memory_order_relaxed);
+  return drained;
+}
+
+void Machine::reset_for_run() {
+  (void)recover();
+  faults_injected_.store(0, std::memory_order_relaxed);
+  timeouts_.store(0, std::memory_order_relaxed);
+  poisoned_waits_.store(0, std::memory_order_relaxed);
+  for (auto& s : stats_) s = MessageStats{};
+  for (auto& c : final_clock_us_) c = 0.0;
 }
 
 void Machine::run(const std::function<void(Process&)>& body) {

@@ -60,6 +60,19 @@ class Machine {
   static void run(int nprocs, const std::function<void(Process&)>& body,
                   CostParams params = {});
 
+  /// Restores a poisoned or timed-out machine to a runnable state: drains
+  /// every mailbox shard (returning the number of undelivered in-flight
+  /// messages dropped), resets barrier epochs, arrival cells, release words
+  /// and blackboard bytes, and clears the poison flag plus the stored first
+  /// error. Callable only between runs (workers parked). run() performs the
+  /// same reset on entry, so recover() is about OBSERVABILITY and intent:
+  /// a supervisor calls it to count what a failed attempt left behind and
+  /// to certify the machine clean before retrying. It does NOT touch the
+  /// installed fault plan, the deadline, the monotonic counter, or the
+  /// previous run's stats/clocks (still readable for post-mortem until the
+  /// next run()).
+  i64 recover();
+
   [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] const CostParams& params() const { return params_; }
 

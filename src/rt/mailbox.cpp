@@ -96,6 +96,16 @@ std::size_t Mailbox::pending() const {
   return n;
 }
 
+std::size_t Mailbox::pending_from(int source) const {
+  CHAOS_CHECK(source >= 0 && source < static_cast<int>(slots_.size()),
+              "mailbox pending_from: bad source rank");
+  const Slot& slot = *slots_[static_cast<std::size_t>(source)];
+  std::lock_guard lock(slot.mutex);
+  std::size_t n = 0;
+  for (const auto& [tag, q] : slot.queues) n += q.size();
+  return n;
+}
+
 void Mailbox::poison_wake() {
   // Lock each slot so the wakeup cannot slip between a waiter's poison
   // check and its wait(): the flag store (already published by the caller)
@@ -106,11 +116,16 @@ void Mailbox::poison_wake() {
   }
 }
 
-void Mailbox::clear() {
+i64 Mailbox::drain() {
+  i64 dropped = 0;
   for (const auto& slot : slots_) {
     std::lock_guard lock(slot->mutex);
+    for (const auto& [tag, q] : slot->queues) {
+      dropped += static_cast<i64>(q.size());
+    }
     slot->queues.clear();
   }
+  return dropped;
 }
 
 }  // namespace chaos::rt

@@ -70,11 +70,21 @@ class Mailbox {
   /// Number of queued messages across all (source, tag) keys.
   [[nodiscard]] std::size_t pending() const;
 
+  /// Number of queued messages in the shard of @p source alone — lets a
+  /// recovery test assert every shard individually drained, not just the
+  /// aggregate.
+  [[nodiscard]] std::size_t pending_from(int source) const;
+
   /// Wakes every blocked receiver so it can observe the poison flag.
   void poison_wake();
 
+  /// Drops all queued messages, shard by shard, and returns how many were
+  /// dropped — the count of undelivered in-flight messages a failed run
+  /// left behind. Machine::recover() sums this across ranks.
+  i64 drain();
+
   /// Drops all queued messages (between two runs of a reused Machine).
-  void clear();
+  void clear() { (void)drain(); }
 
  private:
   struct Slot {

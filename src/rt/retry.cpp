@@ -1,0 +1,55 @@
+#include "rt/retry.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace chaos::rt {
+
+namespace {
+
+/// splitmix64 — the repo's standard cheap mixer (inspector dedup, rng.hpp,
+/// fault delays).
+u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+f64 RetryPolicy::backoff_ms(int failed_attempts) const {
+  if (failed_attempts < 1) return 0.0;
+  f64 ms = base_backoff_ms;
+  for (int i = 1; i < failed_attempts; ++i) {
+    ms *= multiplier;
+    if (ms >= max_backoff_ms) break;  // saturated; stop before overflow
+  }
+  ms = std::min(std::max(ms, 0.0), max_backoff_ms);
+  const u64 h = splitmix64(jitter_seed ^ static_cast<u64>(failed_attempts));
+  const f64 unit =
+      static_cast<f64>(h >> 11) / static_cast<f64>(1ull << 53);  // [0, 1)
+  return ms * (0.5 + unit);
+}
+
+bool is_retryable(const std::exception_ptr& error) {
+  if (!error) return false;
+  // Order matters: the retryable ChaosError subclasses must be caught
+  // before the ChaosError base, which is NOT retryable (CHAOS_CHECK
+  // violations, ScheduleInvalid — deterministic breakage).
+  try {
+    std::rethrow_exception(error);
+  } catch (const FaultInjected&) {
+    return true;
+  } catch (const MachineTimeout&) {
+    return true;
+  } catch (const MachinePoisoned&) {
+    return true;
+  } catch (const std::bad_alloc&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace chaos::rt

@@ -1,0 +1,45 @@
+// Retry policy for supervised re-execution of failed SPMD phases
+// (DESIGN.md §11).
+//
+// Two orthogonal pieces live here. RetryPolicy is pure arithmetic: given a
+// failed-attempt count it yields a deterministic exponential backoff with
+// splitmix64-seeded jitter — wall-clock milliseconds only, never modeled
+// time, so the virtual clock of the eventually-successful attempt is
+// byte-identical to a clean run. is_retryable is the classification: the
+// typed transients the fault layer can produce (an injected fault, a
+// deadline timeout, a sibling's poison, allocation exhaustion) are worth a
+// fresh attempt on a recovered machine; everything else — logic errors,
+// CHAOS_CHECK violations, ScheduleInvalid — means the retry would fail the
+// same way, so the supervisor rethrows immediately.
+#pragma once
+
+#include <exception>
+
+#include "rt/types.hpp"
+
+namespace chaos::rt {
+
+/// Bounded exponential backoff with deterministic jitter. max_attempts
+/// counts TOTAL tries (1 = no retry, today's default pipeline behavior).
+struct RetryPolicy {
+  int max_attempts = 3;
+  f64 base_backoff_ms = 1.0;    ///< backoff after the first failure
+  f64 multiplier = 2.0;         ///< growth per further failure
+  f64 max_backoff_ms = 250.0;   ///< cap before jitter is applied
+  u64 jitter_seed = 0x9e3779b97f4a7c15ull;
+
+  /// Wall-clock milliseconds to sleep after @p failed_attempts failures
+  /// (1-based): min(base * multiplier^(n-1), cap) scaled by a jitter
+  /// factor in [0.5, 1.5) derived from splitmix64(jitter_seed, n) —
+  /// identical across runs and hosts for the same policy.
+  [[nodiscard]] f64 backoff_ms(int failed_attempts) const;
+};
+
+/// True when @p error is a transient worth retrying on a recovered
+/// machine: FaultInjected, MachineTimeout, MachinePoisoned, or
+/// std::bad_alloc. Logic errors (any other ChaosError, std::exception, or
+/// foreign exception) return false — retrying deterministic breakage only
+/// burns attempts.
+[[nodiscard]] bool is_retryable(const std::exception_ptr& error);
+
+}  // namespace chaos::rt

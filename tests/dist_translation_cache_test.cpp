@@ -196,3 +196,52 @@ TEST(TranslationCacheDeathLike, StaleBindingAfterRemapThrows) {
                        }),
       chaos::ChaosError);
 }
+
+// --- attempt quarantine (DESIGN.md §11) --------------------------------------
+
+TEST(TranslationCache, StagedInsertionsAreInvisibleUntilCommitted) {
+  dist::TranslationCache c(64);
+  dist::Dad dad{dist::DistKind::Irregular, 100, 4, 16, 43};
+  c.bind(dad);
+  c.stage_put(7, dist::Entry{1, 3});
+  c.stage_put(9, dist::Entry{2, 5});
+  EXPECT_EQ(c.staged(), 2);
+  dist::Entry e;
+  EXPECT_FALSE(c.try_get(7, e));  // quarantined: a retry must still miss
+  EXPECT_EQ(c.stats().insertions, 0);
+  c.commit_staged();
+  EXPECT_EQ(c.staged(), 0);
+  EXPECT_TRUE(c.try_get(7, e));
+  EXPECT_EQ(e.proc, 1);
+  EXPECT_EQ(e.local, 3);
+  EXPECT_TRUE(c.try_get(9, e));
+  EXPECT_EQ(c.stats().staged_commits, 2);
+  EXPECT_EQ(c.stats().insertions, 2);
+}
+
+TEST(TranslationCache, DiscardDropsTheAbortedAttempt) {
+  dist::TranslationCache c(64);
+  dist::Dad dad{dist::DistKind::Irregular, 100, 4, 16, 44};
+  c.bind(dad);
+  c.stage_put(7, dist::Entry{1, 3});
+  c.discard_staged();
+  EXPECT_EQ(c.staged(), 0);
+  dist::Entry e;
+  EXPECT_FALSE(c.try_get(7, e));
+  EXPECT_EQ(c.stats().staged_discards, 1);
+  EXPECT_EQ(c.stats().insertions, 0);
+}
+
+TEST(TranslationCache, RebindAndInvalidateDiscardStagedEntries) {
+  dist::TranslationCache c(64);
+  dist::Dad dad{dist::DistKind::Irregular, 100, 4, 16, 45};
+  c.bind(dad);
+  c.stage_put(7, dist::Entry{1, 3});
+  c.bind(dad, /*stamp=*/9);  // staged entries were translated pre-rebind
+  EXPECT_EQ(c.staged(), 0);
+  EXPECT_EQ(c.stats().staged_discards, 1);
+  c.stage_put(8, dist::Entry{0, 1});
+  c.invalidate();
+  EXPECT_EQ(c.staged(), 0);
+  EXPECT_EQ(c.stats().staged_discards, 2);
+}

@@ -388,3 +388,30 @@ TEST(FaultPlan, UninstalledPlanLeavesModeledClocksByteIdentical) {
   EXPECT_EQ(bare, armed);
   EXPECT_GT(bare, 0.0);
 }
+
+TEST(FaultPlan, ThrowAtTheSameVisitNeverLeaksAnArmedAllocFail) {
+  // Regression for the armed-flag scope guard: an AllocFail spec arms during
+  // the spec loop, then a Throw spec at the SAME (site, rank, visit) unwinds
+  // on_visit before the allocator probe runs. The guard must disarm the
+  // thread-local on that unwind path. In this hooked binary the flag may
+  // also be consumed by the exception's own construction; either way,
+  // nothing is allowed to survive into later allocations or later visits.
+  rt::Machine machine(2);
+  rt::FaultPlan plan(2);
+  plan.add({rt::FaultSite::BarrierArrive, rt::FaultKind::AllocFail,
+            /*rank=*/0, /*nth_visit=*/1});
+  plan.add({rt::FaultSite::BarrierArrive, rt::FaultKind::Throw, /*rank=*/0,
+            /*nth_visit=*/1});
+  machine.install_fault_plan(&plan);
+  EXPECT_ANY_THROW(machine.run([](rt::Process& p) { rt::barrier(p); }));
+  // Rank 0 runs inline on this thread: a leaked flag would detonate the
+  // next allocation (hooked binaries) or the next visit's probe (plain).
+  EXPECT_FALSE(rt::fault_alloc_fail_armed());
+  std::vector<int> alloc_probe(1024, 7);
+  EXPECT_EQ(alloc_probe.back(), 7);
+  // Second run with the plan STILL installed: visit 2 matches no spec and
+  // must run clean — in a plain binary a leaked flag would only fire here.
+  machine.run([](rt::Process& p) { rt::barrier(p); });
+  machine.install_fault_plan(nullptr);
+  EXPECT_FALSE(rt::fault_alloc_fail_armed());
+}

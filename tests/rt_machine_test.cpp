@@ -278,3 +278,76 @@ TEST(Machine, CollectiveCounterIsUniqueAndAgreedUpon) {
     for (auto v : all_b) EXPECT_EQ(v, b);
   });
 }
+
+// --- post-poison recovery (DESIGN.md §11) ------------------------------------
+
+TEST(Machine, RecoverDrainsEveryMailboxShard) {
+  constexpr int P = 4;
+  rt::Machine machine(P);
+  // Every rank parks one message in every other rank's box (all P*(P-1)
+  // source shards populated), then rank 3 fails before anyone receives.
+  EXPECT_THROW(machine.run([](rt::Process& p) {
+                 for (int d = 0; d < p.nprocs(); ++d) {
+                   if (d != p.rank()) p.send_value<int>(d, /*tag=*/5, p.rank());
+                 }
+                 if (p.rank() == 3) throw chaos::ChaosError("boom");
+                 p.barrier_sync_only();
+               }),
+               chaos::ChaosError);
+  EXPECT_TRUE(machine.is_poisoned());
+  for (int d = 0; d < P; ++d) {
+    for (int s = 0; s < P; ++s) {
+      EXPECT_EQ(machine.mailbox(d).pending_from(s),
+                s == d ? 0u : 1u)
+          << "dest " << d << " source " << s;
+    }
+  }
+
+  EXPECT_EQ(machine.recover(), P * (P - 1));
+  EXPECT_FALSE(machine.is_poisoned());
+  for (int d = 0; d < P; ++d) {
+    EXPECT_EQ(machine.mailbox(d).pending(), 0u) << "dest " << d;
+    for (int s = 0; s < P; ++s) {
+      EXPECT_EQ(machine.mailbox(d).pending_from(s), 0u)
+          << "dest " << d << " source " << s;
+    }
+  }
+  machine.run([](rt::Process& p) {
+    EXPECT_EQ(rt::allreduce_sum(p, i64{p.rank() + 1}), 10);
+  });
+}
+
+TEST(Machine, StaleMessageIsNeverRedeliveredAfterRecover) {
+  rt::Machine machine(2);
+  // Run 1: rank 1's message is in flight when rank 0 dies before receiving.
+  EXPECT_THROW(machine.run([](rt::Process& p) {
+                 if (p.rank() == 1) p.send_value<int>(0, /*tag=*/5, 111);
+                 if (p.rank() == 0) throw chaos::ChaosError("die first");
+                 p.barrier_sync_only();
+               }),
+               chaos::ChaosError);
+  EXPECT_EQ(machine.mailbox(0).pending_from(1), 1u);
+  EXPECT_EQ(machine.recover(), 1);
+
+  // Run 2 re-sends under the same (source, tag): the receive must see the
+  // fresh payload, never the stale one from the poisoned run.
+  machine.run([](rt::Process& p) {
+    if (p.rank() == 1) p.send_value<int>(0, /*tag=*/5, 222);
+    if (p.rank() == 0) EXPECT_EQ(p.recv_value<int>(1, 5), 222);
+  });
+  EXPECT_EQ(machine.mailbox(0).pending(), 0u);
+}
+
+TEST(Machine, RecoverOnACleanMachineIsANoOp) {
+  rt::Machine machine(3);
+  EXPECT_EQ(machine.recover(), 0);  // fresh machine: nothing to drain
+  machine.run([](rt::Process& p) {
+    if (p.rank() == 0) p.send_value<int>(1, 2, 9);
+    if (p.rank() == 1) EXPECT_EQ(p.recv_value<int>(0, 2), 9);
+    rt::barrier(p);
+  });
+  EXPECT_EQ(machine.recover(), 0);  // every message was consumed
+  machine.run([](rt::Process& p) {
+    EXPECT_EQ(rt::allreduce_sum(p, i64{1}), 3);
+  });
+}
