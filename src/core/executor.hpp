@@ -101,15 +101,14 @@ inline void check_schedule(const CommSchedule& schedule, i64 nlocal,
 }
 }  // namespace detail
 
-/// Collective gather: fills @p ghost (size schedule.nghost) with copies of
-/// the off-process elements the inspector recorded, reading my owned
-/// elements from @p local for peers that requested them. Fused pack →
-/// exchange pass; the receive side lands directly in @p ghost (the ghost
-/// layout IS the exchange's receive layout), so there is no unpack loop.
+/// Gather, phase 1 of 3 (PACK): validates the schedule and copies my owned
+/// elements that peers requested into the workspace staging buffer, in the
+/// schedule's flat CSR send order. Local memory traffic only; the modeled
+/// charge for the whole gather is applied by gather_unpack so the fused
+/// routine and the split VM ops produce bit-identical clocks.
 template <typename T>
-void gather_ghosts(rt::Process& p, const CommSchedule& schedule,
-                   std::span<const T> local, std::span<T> ghost,
-                   ExecutorWorkspace<T>& ws) {
+std::span<T> gather_pack(const CommSchedule& schedule, std::span<const T> local,
+                         std::span<T> ghost, ExecutorWorkspace<T>& ws) {
   detail::check_schedule(schedule, static_cast<i64>(local.size()),
                          static_cast<i64>(ghost.size()), "gather");
   const std::span<T> stage = ws.staging(schedule);
@@ -119,9 +118,39 @@ void gather_ghosts(rt::Process& p, const CommSchedule& schedule,
     stage[static_cast<std::size_t>(k)] =
         local[static_cast<std::size_t>(idx[k])];
   }
+  return stage;
+}
+
+/// Gather, phase 2 of 3 (EXCHANGE): the collective flat all-to-all. The
+/// receive side lands directly in @p ghost (the ghost layout IS the
+/// exchange's receive layout), so there is no unpack copy.
+template <typename T>
+void gather_exchange(rt::Process& p, const CommSchedule& schedule,
+                     std::span<const T> stage, std::span<T> ghost) {
   rt::alltoallv_flat<T>(p, stage, schedule.send_offsets, ghost,
                         schedule.recv_offsets);
-  p.clock().charge_ops(packed + schedule.nghost, p.params().mem_us_per_word);
+}
+
+/// Gather, phase 3 of 3 (UNPACK): charges the gather's modeled memory
+/// traffic (pack reads + ghost writes). No data motion — see gather_exchange.
+inline void gather_unpack(rt::Process& p, const CommSchedule& schedule) {
+  p.clock().charge_ops(schedule.total_send() + schedule.nghost,
+                       p.params().mem_us_per_word);
+}
+
+/// Collective gather: fills @p ghost (size schedule.nghost) with copies of
+/// the off-process elements the inspector recorded, reading my owned
+/// elements from @p local for peers that requested them. Fused pack →
+/// exchange pass; composed from the three split phases above so the tree-walk
+/// interpreter and the bytecode VM's PACK/EXCHANGE/UNPACK ops share one
+/// implementation (and therefore one modeled-charge sequence).
+template <typename T>
+void gather_ghosts(rt::Process& p, const CommSchedule& schedule,
+                   std::span<const T> local, std::span<T> ghost,
+                   ExecutorWorkspace<T>& ws) {
+  const std::span<T> stage = gather_pack<T>(schedule, local, ghost, ws);
+  gather_exchange<T>(p, schedule, stage, ghost);
+  gather_unpack(p, schedule);
 }
 
 /// Span-based compatibility overload: stages through a private workspace

@@ -125,4 +125,83 @@ class InspectorCache {
   Stats stats_;
 };
 
+/// Program-level plan cache: the InspectorCache generalized for the bytecode
+/// VM. Where InspectorCache holds one slot per loop id, PlanCache keys each
+/// slot by (statement id, DAD incarnation set), so plans built against
+/// different incarnation sets of the same statement coexist instead of
+/// evicting each other — a program alternating between two distributions
+/// pays two inspector runs total, not one per switch. The Section 3 guard
+/// still applies on every probe: identical DADs hash to the same slot, and
+/// reuse_valid re-checks conditions 1–3 (last_mod of the indirection arrays
+/// cannot be part of the key — a write leaves the DAD, and thus the key,
+/// unchanged).
+///
+/// The probe path is allocation-free: span-based guards, no vector copies.
+/// Only store() (the cache-miss path, which just ran a full inspector)
+/// allocates.
+class PlanCache {
+ public:
+  using Stats = InspectorCache::Stats;
+
+  /// Composite key: statement id mixed with every guard DAD's key, in guard
+  /// order. Full-avalanche mixing per component keeps the composite
+  /// order-sensitive and uniformly spread.
+  [[nodiscard]] static u64 key_of(u64 stmt_id,
+                                  std::span<const dist::Dad> data_dads,
+                                  std::span<const dist::Dad> ind_dads) {
+    u64 h = dist::detail::mix64(stmt_id ^ 0x7c15bf58476d1ce4ull);
+    for (const auto& d : data_dads) h = dist::detail::mix64(h ^ d.key());
+    for (const auto& d : ind_dads) h = dist::detail::mix64(h ^ ~d.key());
+    return h;
+  }
+
+  /// CHECK_INCARNATION: returns the cached plan for @p stmt_id under the
+  /// current DAD incarnation set iff the Section 3 conditions hold, else
+  /// null. Counts one hit or one miss (a miss is expected to be followed by
+  /// store() once the plan is rebuilt, mirroring InspectorCache's
+  /// get_or_build accounting).
+  [[nodiscard]] std::shared_ptr<void> probe(
+      u64 stmt_id, const ReuseRegistry& reg,
+      std::span<const dist::Dad> data_dads,
+      std::span<const dist::Dad> ind_dads) {
+    const auto it = slots_.find(key_of(stmt_id, data_dads, ind_dads));
+    if (it != slots_.end() &&
+        reuse_valid(reg, it->second.record, data_dads, ind_dads)) {
+      ++stats_.hits;
+      return it->second.product;
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  /// Records a freshly built plan under the probe-time guard state.
+  void store(u64 stmt_id, const ReuseRegistry& reg,
+             std::span<const dist::Dad> data_dads,
+             std::span<const dist::Dad> ind_dads,
+             std::shared_ptr<void> product) {
+    Slot slot;
+    slot.record.data_dads.assign(data_dads.begin(), data_dads.end());
+    slot.record.ind_dads.assign(ind_dads.begin(), ind_dads.end());
+    slot.record.ind_last_mod.reserve(ind_dads.size());
+    for (const auto& dad : ind_dads) {
+      slot.record.ind_last_mod.push_back(reg.last_mod(dad));
+    }
+    slot.product = std::move(product);
+    slots_[key_of(stmt_id, data_dads, ind_dads)] = std::move(slot);
+  }
+
+  void clear() { slots_.clear(); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    InspectorRecord record;
+    std::shared_ptr<void> product;
+  };
+  std::unordered_map<u64, Slot> slots_;
+  Stats stats_;
+};
+
 }  // namespace chaos::core

@@ -39,6 +39,7 @@ struct IndexRef {
   bool direct = true;        ///< a(i) if true, a(ind(i)) otherwise
   std::string ind_array;     ///< indirection array name (when !direct)
   int line = 0;
+  int column = 0;
 };
 
 struct Expr {
@@ -67,6 +68,7 @@ struct Expr {
 
   std::variant<Num, Scalar, ArrayRef, Unary, Binary, Call> node;
   int line = 0;
+  int column = 0;
 };
 
 // --- FORALL bodies ----------------------------------------------------------
@@ -79,6 +81,7 @@ struct LoopStatement {
   IndexRef target_index;
   ExprPtr value;
   int line = 0;
+  int column = 0;
 };
 
 // --- top-level statements ---------------------------------------------------
@@ -88,6 +91,7 @@ struct SizeExpr {
   i64 literal = -1;
   std::string param;  // used when literal < 0
   int line = 0;
+  int column = 0;
 };
 
 enum class ElemType : u8 { Real8, Integer };
@@ -105,12 +109,14 @@ struct Distribute {
   std::string decomp;
   std::string format;  // BLOCK, CYCLIC, or a named SET result
   int line = 0;
+  int column = 0;
 };
 
 struct Align {
   std::vector<std::string> arrays;
   std::string decomp;
   int line = 0;
+  int column = 0;
 };
 
 struct Construct {
@@ -122,6 +128,7 @@ struct Construct {
   SizeExpr link_size;                         // declared E (checked)
   std::string load_array;                     // empty = no LOAD clause
   int line = 0;
+  int column = 0;
 };
 
 struct SetPartition {
@@ -129,20 +136,23 @@ struct SetPartition {
   std::string geocol;
   std::string partitioner;
   int line = 0;
+  int column = 0;
 };
 
 struct Redistribute {
   std::string decomp;
   std::string dist_name;
   int line = 0;
+  int column = 0;
 };
 
 struct Forall {
   std::string loop_var;
   SizeExpr lo, hi;
   std::vector<LoopStatement> body;
-  u64 loop_id = 0;  ///< stable id used as the InspectorCache key
+  u64 loop_id = 0;  ///< stable id used as the plan-cache statement key
   int line = 0;
+  int column = 0;
 };
 
 struct Statement;
@@ -152,6 +162,7 @@ struct DoLoop {
   SizeExpr lo, hi;
   std::vector<Statement> body;  // vector of incomplete type: OK since C++17
   int line = 0;
+  int column = 0;
 };
 
 struct Statement {

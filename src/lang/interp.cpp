@@ -4,9 +4,12 @@
 #include <cctype>
 #include <cmath>
 #include <set>
+#include <span>
 #include <unordered_map>
+#include <utility>
 
 #include "dist/remap.hpp"
+#include "lang/bytecode.hpp"
 #include "lang/token.hpp"
 #include "rt/collectives.hpp"
 
@@ -51,14 +54,39 @@ struct DecompInfo {
   std::vector<std::string> aligned;
 };
 
-/// Inspector product of one FORALL (cached under the Section 3 guard).
+/// Resolved runtime operand for the bytecode evaluator: set up once per
+/// executor invocation, read per iteration.
+struct RuntimeOperand {
+  const i64* refs = nullptr;    // localized index per local iteration
+  const f64* local = nullptr;   // owned segment of the array
+  i64 nlocal = 0;
+  const f64* ghost = nullptr;   // gathered off-process copies
+};
+
+/// Per-statement write routing, resolved against current storage at the top
+/// of every COMPUTE (array storage can move between sweeps, the plan's
+/// symbolic routing cannot).
+struct WriteSlot {
+  int refs_group = 0;  ///< 0: data_loc batch, 1: direct_loc, 2: own assign
+  const std::vector<StackInstr>* code = nullptr;
+  const i64* refs = nullptr;  // target localized indices
+  f64* local = nullptr;       // assign: target local segment
+  f64* staging = nullptr;     // assign: ghost staging / reduce: accumulator
+  i64 nlocal = -1;            // assign boundary (-1 for reduces)
+  core::ReduceOp rop = core::ReduceOp::Add;
+};
+
+/// Inspector product of one FORALL (cached under the Section 3 guard). Built
+/// from the statement's lowered ForallMeta — never from the AST — so the
+/// tree-walk oracle and the VM construct byte-identical plans.
 struct LoopPlan {
+  const ForallMeta* meta = nullptr;  ///< borrowed from the ProgramPlan
+
   std::shared_ptr<const dist::Distribution> iter_space;
   std::shared_ptr<const dist::Distribution> data_dist;  // may be null
   core::IterationPartition iters;
   std::vector<i64> iter_ids;  ///< my 0-based iteration ids, local order
 
-  std::vector<std::string> ind_names;
   std::vector<std::vector<i64>> ind_values;  ///< remapped, 0-based
   core::LocalizedMany data_loc;              ///< one batch per ind array
   /// One inspector workspace per localized distribution (data_dist vs
@@ -72,7 +100,7 @@ struct LoopPlan {
   /// How each statement's target is addressed.
   struct WriteInfo {
     LoopReduceOp op = LoopReduceOp::Assign;
-    std::string array;
+    ArrayInfo* target = nullptr;
     int refs_group = 0;    ///< 0: data_loc batch, 1: direct_loc, 2: own assign
     int batch = -1;        ///< data_loc batch index (group 0)
     int assign_slot = -1;  ///< index into assign_loc (group 2)
@@ -80,40 +108,29 @@ struct LoopPlan {
   };
   std::vector<WriteInfo> writes;            ///< parallel to the FORALL body
   std::vector<core::Localized> assign_loc;  ///< private schedules for assigns
+  std::vector<ArrayInfo*> assign_targets;   ///< parallel to assign_loc
 
   struct AccInfo {
-    std::string array;
+    ArrayInfo* target = nullptr;
     core::ReduceOp op = core::ReduceOp::Add;
     int refs_group = 0;  ///< 0 = data group, 1 = direct group
   };
   std::vector<AccInfo> accs;
 
-  /// Runtime compilation of the FORALL body: each statement's expression is
-  /// flattened into stack-machine bytecode with operand slots resolved at
-  /// inspector time — the "runtime compilation" the paper's title refers to
-  /// taken one step further than tree-walking.
-  struct OperandSpec {
+  /// The meta's symbolic operand table resolved to runtime storage.
+  struct OperandRt {
     int group = 0;  ///< 0: data_loc batch, 1: direct_loc
     int batch = -1;
     const ArrayInfo* array = nullptr;
     int ghost_slot = -1;  ///< index into ghost_data / ghost_direct
   };
-  enum class Op : u8 {
-    Imm, Scalar, IterVal, Load, Neg, Add, Sub, Mul, Div, Pow,
-    Sqrt, Abs, Sin, Cos, Exp, Min2, Max2, Mod2,
-  };
-  struct Instr {
-    Op op = Op::Imm;
-    i32 slot = -1;          ///< operand-table slot (Load)
-    f64 imm = 0.0;          ///< literal (Imm)
-    const i64* scalar = nullptr;  ///< bound scalar storage (Scalar)
-  };
-  std::vector<OperandSpec> operands;
-  std::vector<std::vector<Instr>> code;  ///< one program per body statement
-  int max_stack = 0;
+  std::vector<OperandRt> operands;
+  /// Scalar slots bound to std::map node storage (address-stable), in the
+  /// meta's first-occurrence order.
+  std::vector<const i64*> scalar_ptrs;
 
-  std::vector<const ArrayInfo*> reads_data;    ///< gathered via data_loc
-  std::vector<const ArrayInfo*> reads_direct;  ///< gathered via direct_loc
+  std::vector<ArrayInfo*> reads_data;    ///< gathered via data_loc
+  std::vector<ArrayInfo*> reads_direct;  ///< gathered via direct_loc
   /// Ghost scratch per read array (index-aligned with reads_*).
   std::vector<std::vector<f64>> ghost_data;
   std::vector<std::vector<f64>> ghost_direct;
@@ -123,12 +140,29 @@ struct LoopPlan {
   core::ExecutorWorkspace<f64> ws;
   std::vector<std::vector<f64>> acc_scratch;     ///< parallel to accs
   std::vector<std::vector<f64>> assign_scratch;  ///< parallel to assign_loc
+  std::vector<ArrayInfo*> written_targets;       ///< note_write order (sorted)
+
+  /// Plan-owned per-sweep scratch: resize() keeps capacity, so every sweep
+  /// after the first resolves its slots with zero heap allocations.
+  std::vector<RuntimeOperand> runtime_ops;
+  std::vector<WriteSlot> write_slots;
 
   i64 expr_flops_per_iter = 0;
   i64 mem_refs_per_iter = 0;
-  /// Build validity stamp: a failed (thrown-through) build_loop_plan leaves
-  /// the plan not ready and execute_loop refuses it (DESIGN.md §11).
+  /// Build validity stamp: a failed (thrown-through) plan build leaves the
+  /// plan not ready and EXEC_BEGIN refuses it (DESIGN.md §11).
   core::PlanBuildState build;
+};
+
+/// Per-FORALL VM register file: the live plan between CHECK_INCARNATION and
+/// EXEC_END, the resolved trip count, and the guard-DAD scratch (vectors
+/// retain capacity across sweeps, keeping the warm path allocation-free).
+struct ForallRt {
+  std::shared_ptr<LoopPlan> plan;
+  i64 n = 0;  ///< iteration count this execution
+  std::vector<dist::Dad> guard_data, guard_ind;
+  std::span<f64> stage;  ///< PACK -> EXCHANGE handoff
+  std::optional<rt::ClockSection> exec_section;
 };
 
 struct Instance::State {
@@ -138,7 +172,12 @@ struct Instance::State {
   std::map<std::string, std::shared_ptr<const dist::Distribution>> dists;
   std::map<std::string, i64> scalars;
   core::ReuseRegistry registry;
+  /// Section 3 guard for the tree-walk oracle (one slot per loop id).
   core::InspectorCache cache;
+  /// Section 3 guard for the VM: plans keyed by (statement id, DAD
+  /// incarnation set), probed by CHECK_INCARNATION.
+  core::PlanCache plan_cache;
+  std::vector<ForallRt> frt;  ///< indexed by ProgramPlan forall id
   /// Section 3 applied to the mapper coupler: cached GeoCoL graphs and
   /// partitioner outputs, guarded by the DADs / last_mod of their source
   /// arrays, so an unchanged CONSTRUCT + SET inside a time-step loop costs
@@ -161,7 +200,9 @@ struct DistProduct {
 // Instance plumbing
 // ---------------------------------------------------------------------------
 
-Instance::Instance(const Program& program) : program_(&program) {}
+Instance::Instance(const Program& program)
+    : program_(&program),
+      plan_(std::make_unique<const ProgramPlan>(lower(program))) {}
 Instance::~Instance() = default;
 
 void Instance::set_param(const std::string& name, i64 value) {
@@ -185,19 +226,20 @@ void Instance::bind_int(const std::string& array,
 }
 
 const core::InspectorCache::Stats& Instance::cache_stats() const {
-  CHAOS_CHECK(state_ != nullptr, "cache_stats: program has not executed");
-  return state_->cache.stats();
+  static const core::InspectorCache::Stats kZero{};
+  if (!state_) return kZero;
+  return tree_walk_ ? state_->cache.stats() : state_->plan_cache.stats();
 }
 
 const core::InspectorCache::Stats& Instance::mapper_cache_stats() const {
-  CHAOS_CHECK(state_ != nullptr,
-              "mapper_cache_stats: program has not executed");
+  static const core::InspectorCache::Stats kZero{};
+  if (!state_) return kZero;
   return state_->mapper_cache.stats();
 }
 
 const core::ReuseRegistry& Instance::reuse_registry() const {
-  CHAOS_CHECK(state_ != nullptr, "reuse_registry: program has not executed");
-  return state_->registry;
+  static const core::ReuseRegistry kEmpty;
+  return state_ ? state_->registry : kEmpty;
 }
 
 namespace {
@@ -213,70 +255,6 @@ i64 resolve_size(const SizeExpr& s, const std::map<std::string, i64>& scalars) {
   return it->second;
 }
 
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// FORALL: analysis, inspection, execution
-// ---------------------------------------------------------------------------
-
-namespace {
-
-struct ForallContext {
-  rt::Process* p;
-  Instance::State* st;
-  const Forall* f;
-  i64 n = 0;  // iteration count
-};
-
-/// Walks an expression collecting indirection-array names, read arrays, and
-/// cost estimates.
-struct ExprScan {
-  std::vector<std::string> ind_names;
-  std::set<std::string> read_data;    // arrays read via indirection
-  std::set<std::string> read_direct;  // arrays read as a(i)
-  i64 flops = 0;
-  i64 mem_refs = 0;
-
-  void note_index(const IndexRef& idx) {
-    if (!idx.direct) {
-      if (std::find(ind_names.begin(), ind_names.end(), idx.ind_array) ==
-          ind_names.end()) {
-        ind_names.push_back(idx.ind_array);
-      }
-      ++mem_refs;
-    }
-  }
-
-  void scan(const Expr& e) {
-    ++flops;
-    if (const auto* a = std::get_if<Expr::ArrayRef>(&e.node)) {
-      if (!a->array.empty()) {
-        note_index(a->index);
-        // Compiler-generated addressing: a guarded local/ghost select per
-        // reference on top of the load itself.
-        ++flops;
-        ++mem_refs;
-        (a->index.direct ? read_direct : read_data).insert(a->array);
-      }
-      return;
-    }
-    if (const auto* u = std::get_if<Expr::Unary>(&e.node)) {
-      scan(*u->operand);
-      return;
-    }
-    if (const auto* b = std::get_if<Expr::Binary>(&e.node)) {
-      scan(*b->lhs);
-      scan(*b->rhs);
-      return;
-    }
-    if (const auto* c = std::get_if<Expr::Call>(&e.node)) {
-      flops += 8;  // intrinsics cost more than one op
-      for (const auto& arg : c->args) scan(*arg);
-      return;
-    }
-  }
-};
-
 ArrayInfo& lookup_array(Instance::State& st, const std::string& name,
                         int line) {
   const auto it = st.arrays.find(name);
@@ -289,363 +267,254 @@ ArrayInfo& lookup_array(Instance::State& st, const std::string& name,
   return it->second;
 }
 
-/// Flattens one expression into postfix stack-machine bytecode, resolving
-/// every array reference to an operand-table slot. Returns the stack depth
-/// the emitted code needs.
-class ExprCompiler {
- public:
-  ExprCompiler(LoopPlan& plan, Instance::State& st,
-               const std::map<std::string, int>& batch_of,
-               const std::map<std::string, int>& ghost_data_slot,
-               const std::map<std::string, int>& ghost_direct_slot)
-      : plan_(plan),
-        st_(st),
-        batch_of_(batch_of),
-        ghost_data_slot_(ghost_data_slot),
-        ghost_direct_slot_(ghost_direct_slot) {}
+// ---------------------------------------------------------------------------
+// FORALL: plan build (PARTITION + LOCALIZE), shared by both execution modes
+// ---------------------------------------------------------------------------
 
-  int compile(const Expr& e, std::vector<LoopPlan::Instr>& out) {
-    using Op = LoopPlan::Op;
-    if (const auto* num = std::get_if<Expr::Num>(&e.node)) {
-      out.push_back({Op::Imm, -1, num->value, nullptr});
-      return 1;
-    }
-    if (const auto* s = std::get_if<Expr::Scalar>(&e.node)) {
-      const auto it = st_.scalars.find(s->name);
-      if (it == st_.scalars.end()) {
-        sema_fail("unbound scalar '" + s->name + "'", e.line);
-      }
-      // std::map nodes are address-stable: bind the storage directly.
-      out.push_back({Op::Scalar, -1, 0.0, &it->second});
-      return 1;
-    }
-    if (const auto* a = std::get_if<Expr::ArrayRef>(&e.node)) {
-      if (a->array.empty()) {
-        out.push_back({Op::IterVal, -1, 0.0, nullptr});
-        return 1;
-      }
-      LoopPlan::OperandSpec spec;
-      spec.array = &lookup_array(st_, a->array, e.line);
-      if (a->index.direct) {
-        spec.group = 1;
-        spec.ghost_slot = ghost_direct_slot_.at(a->array);
-      } else {
-        spec.group = 0;
-        spec.batch = batch_of_.at(a->index.ind_array);
-        spec.ghost_slot = ghost_data_slot_.at(a->array);
-      }
-      // Deduplicate identical operand specs.
-      i32 slot = -1;
-      for (std::size_t k = 0; k < plan_.operands.size(); ++k) {
-        const auto& o = plan_.operands[k];
-        if (o.group == spec.group && o.batch == spec.batch &&
-            o.array == spec.array) {
-          slot = static_cast<i32>(k);
-          break;
-        }
-      }
-      if (slot < 0) {
-        slot = static_cast<i32>(plan_.operands.size());
-        plan_.operands.push_back(spec);
-      }
-      out.push_back({Op::Load, slot, 0.0, nullptr});
-      return 1;
-    }
-    if (const auto* u = std::get_if<Expr::Unary>(&e.node)) {
-      const int d = compile(*u->operand, out);
-      out.push_back({Op::Neg, -1, 0.0, nullptr});
-      return d;
-    }
-    if (const auto* b = std::get_if<Expr::Binary>(&e.node)) {
-      const int dl = compile(*b->lhs, out);
-      const int dr = compile(*b->rhs, out);
-      switch (b->op) {
-        case BinOp::Add: out.push_back({Op::Add, -1, 0.0, nullptr}); break;
-        case BinOp::Sub: out.push_back({Op::Sub, -1, 0.0, nullptr}); break;
-        case BinOp::Mul: out.push_back({Op::Mul, -1, 0.0, nullptr}); break;
-        case BinOp::Div: out.push_back({Op::Div, -1, 0.0, nullptr}); break;
-        case BinOp::Pow: out.push_back({Op::Pow, -1, 0.0, nullptr}); break;
-      }
-      return std::max(dl, dr + 1);
-    }
-    if (const auto* c = std::get_if<Expr::Call>(&e.node)) {
-      int depth = compile(*c->args[0], out);
-      if (c->args.size() == 2) {
-        depth = std::max(depth, compile(*c->args[1], out) + 1);
-      }
-      switch (c->fn) {
-        case Intrinsic::Sqrt: out.push_back({Op::Sqrt, -1, 0.0, nullptr}); break;
-        case Intrinsic::Abs: out.push_back({Op::Abs, -1, 0.0, nullptr}); break;
-        case Intrinsic::Sin: out.push_back({Op::Sin, -1, 0.0, nullptr}); break;
-        case Intrinsic::Cos: out.push_back({Op::Cos, -1, 0.0, nullptr}); break;
-        case Intrinsic::Exp: out.push_back({Op::Exp, -1, 0.0, nullptr}); break;
-        case Intrinsic::Min: out.push_back({Op::Min2, -1, 0.0, nullptr}); break;
-        case Intrinsic::Max: out.push_back({Op::Max2, -1, 0.0, nullptr}); break;
-        case Intrinsic::Mod: out.push_back({Op::Mod2, -1, 0.0, nullptr}); break;
-      }
-      return depth;
-    }
-    CHAOS_CHECK(false, "corrupt expression node");
-    return 0;
+/// PARTITION: semantic classification against current array state, then the
+/// iteration partition + indirection remap (remap time). Every check the
+/// tree-walker made per build is re-issued here from the lowered metadata,
+/// in its exact order, so diagnostics are mode-independent.
+void plan_partition(rt::Process& p, Instance::State& st, const ForallMeta& m,
+                    i64 n, LoopPlan& plan, PhaseTimes& phases) {
+  if (!m.conflict_array.empty()) {
+    sema_fail("array '" + m.conflict_array +
+                  "' is both read and written in one FORALL; only "
+                  "left-hand-side reductions may carry dependences",
+              m.line);
   }
-
- private:
-  LoopPlan& plan_;
-  Instance::State& st_;
-  const std::map<std::string, int>& batch_of_;
-  const std::map<std::string, int>& ghost_data_slot_;
-  const std::map<std::string, int>& ghost_direct_slot_;
-};
-
-/// Builds the inspector product for one FORALL. Collective. The caller
-/// attributes virtual time of the sub-phases to PhaseTimes.
-std::shared_ptr<LoopPlan> build_loop_plan(ForallContext& ctx,
-                                          PhaseTimes& phases) {
-  rt::Process& p = *ctx.p;
-  Instance::State& st = *ctx.st;
-  const Forall& f = *ctx.f;
-  auto plan = std::make_shared<LoopPlan>();
-  plan->build.begin_build();
-
-  // ---- analysis ------------------------------------------------------------
-  ExprScan scan;
-  std::set<std::string> written;
-  std::set<std::string> read_any;
-  for (const auto& stmt : f.body) {
-    scan.note_index(stmt.target_index);
-    scan.scan(*stmt.value);
-    written.insert(stmt.target_array);
-    ++scan.mem_refs;  // the store
-  }
-  for (const auto& a : scan.read_data) read_any.insert(a);
-  for (const auto& a : scan.read_direct) read_any.insert(a);
-  for (const auto& w : written) {
-    if (read_any.count(w)) {
-      sema_fail("array '" + w +
-                    "' is both read and written in one FORALL; only "
-                    "left-hand-side reductions may carry dependences",
-                f.line);
-    }
-  }
-  plan->expr_flops_per_iter = scan.flops;
-  plan->mem_refs_per_iter = scan.mem_refs;
-  plan->ind_names = scan.ind_names;
+  plan.expr_flops_per_iter = m.expr_flops_per_iter;
+  plan.mem_refs_per_iter = m.mem_refs_per_iter;
 
   // ---- classify arrays, find the two anchor distributions -------------------
   // Indirection arrays: INTEGER, aligned with the iteration space.
-  for (const auto& name : plan->ind_names) {
-    ArrayInfo& a = lookup_array(st, name, f.line);
+  for (const auto& name : m.ind_names) {
+    ArrayInfo& a = lookup_array(st, name, m.line);
     if (a.type != ElemType::Integer) {
-      sema_fail("indirection array '" + name + "' must be INTEGER", f.line);
+      sema_fail("indirection array '" + name + "' must be INTEGER", m.line);
     }
-    if (!plan->iter_space) {
-      plan->iter_space = a.dist_ptr();
-    } else if (!(plan->iter_space->dad() == a.dad())) {
+    if (!plan.iter_space) {
+      plan.iter_space = a.dist_ptr();
+    } else if (!(plan.iter_space->dad() == a.dad())) {
       sema_fail("indirection arrays of one FORALL must share a distribution",
-                f.line);
+                m.line);
     }
   }
   // Data arrays (via indirection): REAL*8, one common distribution.
-  std::set<std::string> data_arrays = scan.read_data;
-  std::set<std::string> direct_arrays = scan.read_direct;
-  for (const auto& stmt : f.body) {
-    (stmt.target_index.direct ? direct_arrays : data_arrays)
-        .insert(stmt.target_array);
-  }
-  for (const auto& name : data_arrays) {
-    ArrayInfo& a = lookup_array(st, name, f.line);
+  for (const auto& name : m.data_arrays) {
+    ArrayInfo& a = lookup_array(st, name, m.line);
     if (a.type != ElemType::Real8) {
-      sema_fail("data array '" + name + "' must be REAL*8", f.line);
+      sema_fail("data array '" + name + "' must be REAL*8", m.line);
     }
-    if (!plan->data_dist) {
-      plan->data_dist = a.dist_ptr();
-    } else if (!(plan->data_dist->dad() == a.dad())) {
+    if (!plan.data_dist) {
+      plan.data_dist = a.dist_ptr();
+    } else if (!(plan.data_dist->dad() == a.dad())) {
       sema_fail("data arrays of one FORALL must be aligned to one "
                 "distribution",
-                f.line);
+                m.line);
     }
   }
-  for (const auto& name : direct_arrays) {
-    ArrayInfo& a = lookup_array(st, name, f.line);
+  for (const auto& name : m.direct_arrays) {
+    ArrayInfo& a = lookup_array(st, name, m.line);
     if (a.type != ElemType::Real8) {
-      sema_fail("data array '" + name + "' must be REAL*8", f.line);
+      sema_fail("data array '" + name + "' must be REAL*8", m.line);
     }
-    if (!plan->iter_space) {
-      plan->iter_space = a.dist_ptr();
-    } else if (!(plan->iter_space->dad() == a.dad())) {
+    if (!plan.iter_space) {
+      plan.iter_space = a.dist_ptr();
+    } else if (!(plan.iter_space->dad() == a.dad())) {
       sema_fail("directly indexed arrays must be aligned with the "
                 "iteration space",
-                f.line);
+                m.line);
     }
   }
-  if (!plan->iter_space) {
-    sema_fail("FORALL body references no distributed arrays", f.line);
+  if (!plan.iter_space) {
+    sema_fail("FORALL body references no distributed arrays", m.line);
   }
-  if (plan->iter_space->size() != ctx.n) {
+  if (plan.iter_space->size() != n) {
     sema_fail("FORALL bound does not match the iteration-space extent (" +
-                  std::to_string(plan->iter_space->size()) + " vs " +
-                  std::to_string(ctx.n) + ")",
-              f.line);
+                  std::to_string(plan.iter_space->size()) + " vs " +
+                  std::to_string(n) + ")",
+              m.line);
   }
 
   // ---- phase B/C: iteration partition + indirection remap (remap time) -----
   {
     rt::ClockSection section(p.clock());
     std::vector<std::vector<i64>> ind_slices;  // 0-based data indices
-    for (const auto& name : plan->ind_names) {
+    for (const auto& name : m.ind_names) {
       ArrayInfo& a = st.arrays.at(name);
       std::vector<i64> vals(a.integer->local().begin(),
                             a.integer->local().end());
       for (auto& v : vals) {
-        if (v < 1 || v > plan->data_dist->size()) {
+        if (v < 1 || v > plan.data_dist->size()) {
           sema_fail("indirection array '" + name + "' holds index " +
                         std::to_string(v) + " outside 1.." +
-                        std::to_string(plan->data_dist->size()),
-                    f.line);
+                        std::to_string(plan.data_dist->size()),
+                    m.line);
         }
         v -= 1;  // Fortran subscripts are 1-based
       }
       ind_slices.push_back(std::move(vals));
     }
-    if (!plan->ind_names.empty()) {
+    if (!m.ind_names.empty()) {
       std::vector<std::span<const i64>> batches(ind_slices.begin(),
                                                 ind_slices.end());
-      plan->iters = core::partition_iterations(p, *plan->iter_space,
-                                               *plan->data_dist, batches);
+      plan.iters = core::partition_iterations(p, *plan.iter_space,
+                                              *plan.data_dist, batches);
       for (auto& slice : ind_slices) {
-        plan->ind_values.push_back(
-            dist::apply_remap<i64>(p, plan->iters.remap, slice));
+        plan.ind_values.push_back(
+            dist::apply_remap<i64>(p, plan.iters.remap, slice));
       }
     } else {
       // No indirection: iterations stay home.
-      plan->iters.iter_dist = plan->iter_space;
-      plan->iters.remap = dist::build_remap(p, *plan->iter_space,
-                                            *plan->iter_space);
-      plan->iters.moved_iterations = 0;
+      plan.iters.iter_dist = plan.iter_space;
+      plan.iters.remap = dist::build_remap(p, *plan.iter_space,
+                                           *plan.iter_space);
+      plan.iters.moved_iterations = 0;
     }
-    plan->iter_ids = plan->iters.iter_dist->my_globals();
+    plan.iter_ids = plan.iters.iter_dist->my_globals();
     phases.remap += section.elapsed_sec();
   }
+}
 
-  // ---- phase D: localize (inspector time) -----------------------------------
-  {
-    rt::ClockSection section(p.clock());
-    if (!plan->ind_values.empty()) {
-      std::vector<std::span<const i64>> batches(plan->ind_values.begin(),
-                                                plan->ind_values.end());
-      core::localize_many(p, *plan->data_dist, batches, plan->iws,
-                          plan->data_loc);
-    }
-    plan->has_direct = !direct_arrays.empty();
-    if (plan->has_direct) {
-      core::localize(p, *plan->iter_space, plan->iter_ids, plan->direct_iws,
-                     plan->direct_loc);
-    }
-
-    // Ghost scratch per read array, then compile the body to bytecode with
-    // every operand slot resolved against the freshly built schedules.
-    std::map<std::string, int> batch_of;
-    for (std::size_t k = 0; k < plan->ind_names.size(); ++k) {
-      batch_of[plan->ind_names[k]] = static_cast<int>(k);
-    }
-    std::map<std::string, int> ghost_data_slot, ghost_direct_slot;
-    for (const auto& name : scan.read_data) {
-      ghost_data_slot[name] = static_cast<int>(plan->reads_data.size());
-      plan->reads_data.push_back(&st.arrays.at(name));
-    }
-    for (const auto& name : scan.read_direct) {
-      ghost_direct_slot[name] = static_cast<int>(plan->reads_direct.size());
-      plan->reads_direct.push_back(&st.arrays.at(name));
-    }
-    plan->ghost_data.resize(plan->reads_data.size());
-    plan->ghost_direct.resize(plan->reads_direct.size());
-
-    ExprCompiler compiler(*plan, st, batch_of, ghost_data_slot,
-                          ghost_direct_slot);
-    plan->code.resize(f.body.size());
-    for (std::size_t si = 0; si < f.body.size(); ++si) {
-      plan->max_stack = std::max(
-          plan->max_stack,
-          compiler.compile(*f.body[si].value,
-                           plan->code[si]));
-    }
-    CHAOS_CHECK(plan->max_stack <= 64, "FORALL expression too deep");
-
-    // Resolve writes: reduces share the read groups' schedules; assigns get
-    // private schedules so Replace never touches unwritten elements.
-    std::map<std::pair<std::string, int>, int> acc_of;  // (array, group)
-    for (std::size_t si = 0; si < f.body.size(); ++si) {
-      const auto& stmt = f.body[si];
-      LoopPlan::WriteInfo w;
-      w.op = stmt.op;
-      w.array = stmt.target_array;
-      const bool direct = stmt.target_index.direct;
-      if (stmt.op == LoopReduceOp::Assign) {
-        w.refs_group = 2;
-        w.assign_slot = static_cast<int>(plan->assign_loc.size());
-        const dist::Distribution& target_dist =
-            direct ? *plan->iter_space : *plan->data_dist;
-        plan->assign_loc.emplace_back();
-        if (direct) {
-          core::localize(p, target_dist, plan->iter_ids, plan->direct_iws,
-                         plan->assign_loc.back());
-        } else {
-          const int b = batch_of.at(stmt.target_index.ind_array);
-          core::localize(p, target_dist,
-                         plan->ind_values[static_cast<std::size_t>(b)],
-                         plan->iws, plan->assign_loc.back());
-        }
-      } else {
-        w.refs_group = direct ? 1 : 0;
-        if (!direct) w.batch = batch_of.at(stmt.target_index.ind_array);
-        const core::ReduceOp rop = stmt.op == LoopReduceOp::Add
-                                       ? core::ReduceOp::Add
-                                       : stmt.op == LoopReduceOp::Max
-                                             ? core::ReduceOp::Max
-                                             : core::ReduceOp::Min;
-        const auto key = std::make_pair(stmt.target_array, w.refs_group);
-        auto it = acc_of.find(key);
-        if (it == acc_of.end()) {
-          it = acc_of.emplace(key, static_cast<int>(plan->accs.size())).first;
-          plan->accs.push_back(
-              LoopPlan::AccInfo{stmt.target_array, rop, w.refs_group});
-        } else if (plan->accs[static_cast<std::size_t>(it->second)].op !=
-                   rop) {
-          sema_fail("mixed reduction operators on array '" +
-                        stmt.target_array + "' in one FORALL",
-                    stmt.line);
-        }
-        w.acc_slot = it->second;
-      }
-      plan->writes.push_back(std::move(w));
-    }
-    phases.inspector += section.elapsed_sec();
+/// LOCALIZE: builds the communication schedules and resolves the meta's
+/// symbolic slot tables — operands, scalars, writes — against runtime state
+/// (inspector time).
+void plan_localize(rt::Process& p, Instance::State& st, const ForallMeta& m,
+                   LoopPlan& plan, PhaseTimes& phases) {
+  rt::ClockSection section(p.clock());
+  if (!plan.ind_values.empty()) {
+    std::vector<std::span<const i64>> batches(plan.ind_values.begin(),
+                                              plan.ind_values.end());
+    core::localize_many(p, *plan.data_dist, batches, plan.iws, plan.data_loc);
   }
+  plan.has_direct = !m.direct_arrays.empty();
+  if (plan.has_direct) {
+    core::localize(p, *plan.iter_space, plan.iter_ids, plan.direct_iws,
+                   plan.direct_loc);
+  }
+
+  for (const auto& name : m.read_data) {
+    plan.reads_data.push_back(&st.arrays.at(name));
+  }
+  for (const auto& name : m.read_direct) {
+    plan.reads_direct.push_back(&st.arrays.at(name));
+  }
+  plan.ghost_data.resize(plan.reads_data.size());
+  plan.ghost_direct.resize(plan.reads_direct.size());
+
+  // Scalar slots, in the meta's first-occurrence order: the first unbound
+  // one reported here is the first the tree-walker's expression compiler
+  // would have hit. std::map nodes are address-stable: bind storage directly.
+  plan.scalar_ptrs.reserve(m.scalars.size());
+  for (const auto& sym : m.scalars) {
+    const auto it = st.scalars.find(sym.name);
+    if (it == st.scalars.end()) {
+      sema_fail("unbound scalar '" + sym.name + "'", sym.line);
+    }
+    plan.scalar_ptrs.push_back(&it->second);
+  }
+  plan.operands.reserve(m.operands.size());
+  for (const auto& o : m.operands) {
+    plan.operands.push_back(
+        {o.group, o.batch, &st.arrays.at(o.array), o.ghost_slot});
+  }
+  CHAOS_CHECK(m.max_stack <= 64, "FORALL expression too deep");
+
+  // Resolve writes: reduces share the read groups' schedules; assigns get
+  // private schedules so Replace never touches unwritten elements.
+  const auto batch_index = [&m](const std::string& ind_array) {
+    return static_cast<int>(
+        std::find(m.ind_names.begin(), m.ind_names.end(), ind_array) -
+        m.ind_names.begin());
+  };
+  std::map<std::pair<std::string, int>, int> acc_of;  // (array, group)
+  for (std::size_t si = 0; si < m.body.size(); ++si) {
+    const auto& stmt = m.body[si];
+    LoopPlan::WriteInfo w;
+    w.op = stmt.op;
+    w.target = &st.arrays.at(stmt.target);
+    const bool direct = stmt.direct;
+    if (stmt.op == LoopReduceOp::Assign) {
+      w.refs_group = 2;
+      w.assign_slot = static_cast<int>(plan.assign_loc.size());
+      plan.assign_targets.push_back(w.target);
+      const dist::Distribution& target_dist =
+          direct ? *plan.iter_space : *plan.data_dist;
+      plan.assign_loc.emplace_back();
+      if (direct) {
+        core::localize(p, target_dist, plan.iter_ids, plan.direct_iws,
+                       plan.assign_loc.back());
+      } else {
+        const int b = batch_index(stmt.ind_array);
+        core::localize(p, target_dist,
+                       plan.ind_values[static_cast<std::size_t>(b)],
+                       plan.iws, plan.assign_loc.back());
+      }
+    } else {
+      w.refs_group = direct ? 1 : 0;
+      if (!direct) w.batch = batch_index(stmt.ind_array);
+      const core::ReduceOp rop = stmt.op == LoopReduceOp::Add
+                                     ? core::ReduceOp::Add
+                                     : stmt.op == LoopReduceOp::Max
+                                           ? core::ReduceOp::Max
+                                           : core::ReduceOp::Min;
+      const auto key = std::make_pair(stmt.target, w.refs_group);
+      auto it = acc_of.find(key);
+      if (it == acc_of.end()) {
+        it = acc_of.emplace(key, static_cast<int>(plan.accs.size())).first;
+        plan.accs.push_back(LoopPlan::AccInfo{w.target, rop, w.refs_group});
+      } else if (plan.accs[static_cast<std::size_t>(it->second)].op != rop) {
+        sema_fail("mixed reduction operators on array '" + stmt.target +
+                      "' in one FORALL",
+                  stmt.line);
+      }
+      w.acc_slot = it->second;
+    }
+    plan.writes.push_back(std::move(w));
+  }
+  for (const auto& name : m.written) {
+    plan.written_targets.push_back(&st.arrays.at(name));
+  }
+  phases.inspector += section.elapsed_sec();
+}
+
+/// Builds the full inspector product for one FORALL (the tree-walk oracle's
+/// miss path; the VM runs the same two helpers from its PARTITION and
+/// LOCALIZE ops). Collective.
+std::shared_ptr<LoopPlan> build_plan(rt::Process& p, Instance::State& st,
+                                     const ForallMeta& m, i64 n,
+                                     bool flat_locate, PhaseTimes& phases) {
+  auto plan = std::make_shared<LoopPlan>();
+  plan->build.begin_build();
+  plan->meta = &m;
+  plan->iws.set_flat_locate(flat_locate);
+  plan->direct_iws.set_flat_locate(flat_locate);
+  plan_partition(p, st, m, n, *plan, phases);
+  plan_localize(p, st, m, *plan, phases);
   plan->build.mark_built();
   return plan;
 }
 
-/// Resolved runtime operand for the bytecode evaluator: set up once per
-/// executor invocation, read per iteration.
-struct RuntimeOperand {
-  const i64* refs = nullptr;    // localized index per local iteration
-  const f64* local = nullptr;   // owned segment of the array
-  i64 nlocal = 0;
-  const f64* ghost = nullptr;   // gathered off-process copies
-};
+// ---------------------------------------------------------------------------
+// FORALL: execution ops, shared by both execution modes
+// ---------------------------------------------------------------------------
 
 /// Runs one statement's bytecode for local iteration @p l.
-f64 eval_code(const std::vector<LoopPlan::Instr>& code,
-              const std::vector<RuntimeOperand>& ops, i64 l, f64 iter_value,
+f64 eval_code(const std::vector<StackInstr>& code,
+              const std::vector<RuntimeOperand>& ops,
+              const std::vector<const i64*>& scalars, i64 l, f64 iter_value,
               f64* stack) {
-  using Op = LoopPlan::Op;
   int sp = 0;
   for (const auto& ins : code) {
     switch (ins.op) {
-      case Op::Imm: stack[sp++] = ins.imm; break;
-      case Op::Scalar: stack[sp++] = static_cast<f64>(*ins.scalar); break;
-      case Op::IterVal: stack[sp++] = iter_value; break;
-      case Op::Load: {
+      case StackOp::Imm: stack[sp++] = ins.imm; break;
+      case StackOp::Scalar:
+        stack[sp++] =
+            static_cast<f64>(*scalars[static_cast<std::size_t>(ins.slot)]);
+        break;
+      case StackOp::IterVal: stack[sp++] = iter_value; break;
+      case StackOp::Load: {
         const RuntimeOperand& o = ops[static_cast<std::size_t>(ins.slot)];
         const i64 idx = o.refs[l];
         stack[sp++] = idx < o.nlocal
@@ -653,29 +522,29 @@ f64 eval_code(const std::vector<LoopPlan::Instr>& code,
                           : o.ghost[idx - o.nlocal];
         break;
       }
-      case Op::Neg: stack[sp - 1] = -stack[sp - 1]; break;
-      case Op::Add: --sp; stack[sp - 1] += stack[sp]; break;
-      case Op::Sub: --sp; stack[sp - 1] -= stack[sp]; break;
-      case Op::Mul: --sp; stack[sp - 1] *= stack[sp]; break;
-      case Op::Div: --sp; stack[sp - 1] /= stack[sp]; break;
-      case Op::Pow:
+      case StackOp::Neg: stack[sp - 1] = -stack[sp - 1]; break;
+      case StackOp::Add: --sp; stack[sp - 1] += stack[sp]; break;
+      case StackOp::Sub: --sp; stack[sp - 1] -= stack[sp]; break;
+      case StackOp::Mul: --sp; stack[sp - 1] *= stack[sp]; break;
+      case StackOp::Div: --sp; stack[sp - 1] /= stack[sp]; break;
+      case StackOp::Pow:
         --sp;
         stack[sp - 1] = std::pow(stack[sp - 1], stack[sp]);
         break;
-      case Op::Sqrt: stack[sp - 1] = std::sqrt(stack[sp - 1]); break;
-      case Op::Abs: stack[sp - 1] = std::abs(stack[sp - 1]); break;
-      case Op::Sin: stack[sp - 1] = std::sin(stack[sp - 1]); break;
-      case Op::Cos: stack[sp - 1] = std::cos(stack[sp - 1]); break;
-      case Op::Exp: stack[sp - 1] = std::exp(stack[sp - 1]); break;
-      case Op::Min2:
+      case StackOp::Sqrt: stack[sp - 1] = std::sqrt(stack[sp - 1]); break;
+      case StackOp::Abs: stack[sp - 1] = std::abs(stack[sp - 1]); break;
+      case StackOp::Sin: stack[sp - 1] = std::sin(stack[sp - 1]); break;
+      case StackOp::Cos: stack[sp - 1] = std::cos(stack[sp - 1]); break;
+      case StackOp::Exp: stack[sp - 1] = std::exp(stack[sp - 1]); break;
+      case StackOp::Min2:
         --sp;
         stack[sp - 1] = std::min(stack[sp - 1], stack[sp]);
         break;
-      case Op::Max2:
+      case StackOp::Max2:
         --sp;
         stack[sp - 1] = std::max(stack[sp - 1], stack[sp]);
         break;
-      case Op::Mod2:
+      case StackOp::Mod2:
         --sp;
         stack[sp - 1] = std::fmod(stack[sp - 1], stack[sp]);
         break;
@@ -684,59 +553,75 @@ f64 eval_code(const std::vector<LoopPlan::Instr>& code,
   return stack[0];
 }
 
-/// Executes one FORALL through its plan (phase E). Collective.
-void execute_loop(rt::Process& p, const Forall& f, LoopPlan& plan,
-                  Instance::State& st) {
-  CHAOS_CHECK(plan.build.ready(),
-              "execute_loop: plan build incomplete — a failed inspection "
-              "must be retried before executing");
-  // Gather ghosts for every read array.
-  for (std::size_t k = 0; k < plan.reads_data.size(); ++k) {
-    auto* a = const_cast<ArrayInfo*>(plan.reads_data[k]);
-    plan.ghost_data[k].resize(
-        static_cast<std::size_t>(plan.data_loc.schedule.nghost));
-    core::gather_ghosts<f64>(p, plan.data_loc.schedule, a->real->local(),
-                             plan.ghost_data[k], plan.ws);
-  }
-  for (std::size_t k = 0; k < plan.reads_direct.size(); ++k) {
-    auto* a = const_cast<ArrayInfo*>(plan.reads_direct[k]);
-    plan.ghost_direct[k].resize(
-        static_cast<std::size_t>(plan.direct_loc.schedule.nghost));
-    core::gather_ghosts<f64>(p, plan.direct_loc.schedule, a->real->local(),
-                             plan.ghost_direct[k], plan.ws);
-  }
+/// PACK: sizes the read array's ghost buffer and copies requested owned
+/// elements into the plan's staging buffer. Returns the staged span for the
+/// EXCHANGE that must follow.
+std::span<f64> exec_pack(LoopPlan& plan, i32 group, i32 k) {
+  ArrayInfo* a = group == 0 ? plan.reads_data[static_cast<std::size_t>(k)]
+                            : plan.reads_direct[static_cast<std::size_t>(k)];
+  std::vector<f64>& ghost = group == 0
+                                ? plan.ghost_data[static_cast<std::size_t>(k)]
+                                : plan.ghost_direct[static_cast<std::size_t>(k)];
+  const core::CommSchedule& sched =
+      group == 0 ? plan.data_loc.schedule : plan.direct_loc.schedule;
+  ghost.resize(static_cast<std::size_t>(sched.nghost));
+  return core::gather_pack<f64>(sched, a->real->local(),
+                                std::span<f64>(ghost), plan.ws);
+}
+
+/// EXCHANGE: the collective all-to-all into the ghost buffer.
+void exec_exchange(rt::Process& p, LoopPlan& plan, i32 group, i32 k,
+                   std::span<const f64> stage) {
+  std::vector<f64>& ghost = group == 0
+                                ? plan.ghost_data[static_cast<std::size_t>(k)]
+                                : plan.ghost_direct[static_cast<std::size_t>(k)];
+  const core::CommSchedule& sched =
+      group == 0 ? plan.data_loc.schedule : plan.direct_loc.schedule;
+  core::gather_exchange<f64>(p, sched, stage, std::span<f64>(ghost));
+}
+
+/// UNPACK: the gather's modeled memory charge.
+void exec_unpack(rt::Process& p, LoopPlan& plan, i32 group) {
+  const core::CommSchedule& sched =
+      group == 0 ? plan.data_loc.schedule : plan.direct_loc.schedule;
+  core::gather_unpack(p, sched);
+}
+
+/// COMPUTE: resolves operand and write slots against current storage, runs
+/// the sweep, and charges the modeled per-iteration cost.
+void exec_compute(rt::Process& p, LoopPlan& plan) {
+  const ForallMeta& m = *plan.meta;
 
   // Reduction accumulators: [0, nlocal + nghost) of the group's schedule.
   // Plan-owned scratch: assign() keeps capacity, so sweeps after the first
   // reuse the same heap blocks.
   plan.acc_scratch.resize(plan.accs.size());
-  std::vector<std::vector<f64>>& acc = plan.acc_scratch;
   for (std::size_t k = 0; k < plan.accs.size(); ++k) {
     const auto& info = plan.accs[k];
-    const auto& sched =
-        info.refs_group == 0 ? plan.data_loc.schedule : plan.direct_loc.schedule;
-    acc[k].assign(
+    const auto& sched = info.refs_group == 0 ? plan.data_loc.schedule
+                                             : plan.direct_loc.schedule;
+    plan.acc_scratch[k].assign(
         static_cast<std::size_t>(sched.nlocal_at_build + sched.nghost),
         core::reduce_identity<f64>(info.op));
   }
   // Assign staging: ghost region of each private schedule.
   plan.assign_scratch.resize(plan.assign_loc.size());
-  std::vector<std::vector<f64>>& assign_ghost = plan.assign_scratch;
   for (std::size_t k = 0; k < plan.assign_loc.size(); ++k) {
-    assign_ghost[k].assign(
+    plan.assign_scratch[k].assign(
         static_cast<std::size_t>(plan.assign_loc[k].schedule.nghost), 0.0);
   }
 
   // Resolve operand slots against current storage (pointers may move after
-  // a redistribute, but that invalidates the plan anyway; the gathers above
+  // a redistribute, but that invalidates the plan anyway; the PACKs above
   // have already sized the ghost vectors).
-  std::vector<RuntimeOperand> ops(plan.operands.size());
+  plan.runtime_ops.resize(plan.operands.size());
   for (std::size_t k = 0; k < plan.operands.size(); ++k) {
     const auto& spec = plan.operands[k];
-    RuntimeOperand& o = ops[k];
+    RuntimeOperand& o = plan.runtime_ops[k];
     if (spec.group == 0) {
       o.refs = plan.data_loc.refs[static_cast<std::size_t>(spec.batch)].data();
-      o.ghost = plan.ghost_data[static_cast<std::size_t>(spec.ghost_slot)].data();
+      o.ghost =
+          plan.ghost_data[static_cast<std::size_t>(spec.ghost_slot)].data();
     } else {
       o.refs = plan.direct_loc.refs.data();
       o.ghost =
@@ -745,51 +630,45 @@ void execute_loop(rt::Process& p, const Forall& f, LoopPlan& plan,
     o.local = spec.array->real->local().data();
     o.nlocal = spec.array->real->nlocal();
   }
-  // Per-statement write routing, resolved outside the hot loop.
-  struct WriteSlot {
-    const LoopPlan::WriteInfo* w;
-    const std::vector<LoopPlan::Instr>* code;
-    const i64* refs;     // target localized indices
-    f64* local;          // assign: target local segment
-    f64* staging;        // assign: ghost staging / reduce: accumulator
-    i64 nlocal;          // assign boundary (-1 for reduces)
-    core::ReduceOp rop;  // reduce op
-  };
-  std::vector<WriteSlot> slots(f.body.size());
-  for (std::size_t si = 0; si < f.body.size(); ++si) {
+  plan.write_slots.resize(m.body.size());
+  for (std::size_t si = 0; si < m.body.size(); ++si) {
     const auto& w = plan.writes[si];
-    WriteSlot& slot = slots[si];
-    slot.w = &w;
-    slot.code = &plan.code[si];
+    WriteSlot& slot = plan.write_slots[si];
+    slot.refs_group = w.refs_group;
+    slot.code = &m.code[si];
     slot.rop = core::ReduceOp::Add;
-    ArrayInfo& target = st.arrays.at(w.array);
     if (w.refs_group == 2) {
-      const auto& loc = plan.assign_loc[static_cast<std::size_t>(w.assign_slot)];
+      const auto& loc =
+          plan.assign_loc[static_cast<std::size_t>(w.assign_slot)];
       slot.refs = loc.refs.data();
-      slot.local = target.real->local().data();
-      slot.staging = assign_ghost[static_cast<std::size_t>(w.assign_slot)].data();
+      slot.local = w.target->real->local().data();
+      slot.staging =
+          plan.assign_scratch[static_cast<std::size_t>(w.assign_slot)].data();
       slot.nlocal = loc.schedule.nlocal_at_build;
     } else {
-      slot.refs = w.refs_group == 0
-                      ? plan.data_loc.refs[static_cast<std::size_t>(w.batch)].data()
-                      : plan.direct_loc.refs.data();
+      slot.refs =
+          w.refs_group == 0
+              ? plan.data_loc.refs[static_cast<std::size_t>(w.batch)].data()
+              : plan.direct_loc.refs.data();
       slot.local = nullptr;
-      slot.staging = acc[static_cast<std::size_t>(w.acc_slot)].data();
+      slot.staging =
+          plan.acc_scratch[static_cast<std::size_t>(w.acc_slot)].data();
       slot.rop = plan.accs[static_cast<std::size_t>(w.acc_slot)].op;
       slot.nlocal = -1;
     }
   }
 
-  // The sweep (runtime-compiled bytecode per statement).
+  // The sweep (statically compiled bytecode per statement).
   const i64 niter = static_cast<i64>(plan.iter_ids.size());
   f64 stack[64];
   for (i64 l = 0; l < niter; ++l) {
     const f64 iter_value =
         static_cast<f64>(plan.iter_ids[static_cast<std::size_t>(l)] + 1);
-    for (auto& slot : slots) {
-      const f64 v = eval_code(*slot.code, ops, l, iter_value, stack);
+    for (auto& slot : plan.write_slots) {
+      const f64 v = eval_code(*slot.code, plan.runtime_ops, plan.scalar_ptrs,
+                              l, iter_value, stack);
       const i64 ref = slot.refs[l];
-      if (slot.w->refs_group == 2) {
+      if (slot.refs_group == 2) {
         if (ref < slot.nlocal) {
           slot.local[ref] = v;
         } else {
@@ -805,56 +684,146 @@ void execute_loop(rt::Process& p, const Forall& f, LoopPlan& plan,
                                static_cast<f64>(plan.expr_flops_per_iter) +
                            p.params().mem_us_per_word *
                                static_cast<f64>(plan.mem_refs_per_iter));
+}
 
-  // Fold reductions: local part with the op, ghost part via scatter.
-  for (std::size_t k = 0; k < plan.accs.size(); ++k) {
-    const auto& info = plan.accs[k];
-    ArrayInfo& target = st.arrays.at(info.array);
-    const auto& sched = info.refs_group == 0 ? plan.data_loc.schedule
-                                             : plan.direct_loc.schedule;
-    auto local = target.real->local();
-    for (i64 j = 0; j < sched.nlocal_at_build; ++j) {
-      local[static_cast<std::size_t>(j)] = core::apply_reduce(
-          info.op, local[static_cast<std::size_t>(j)],
-          acc[k][static_cast<std::size_t>(j)]);
-    }
-    p.clock().charge_ops(sched.nlocal_at_build, p.params().flop_us);
-    core::scatter_reduce<f64>(
-        p, sched, local,
-        std::span<const f64>(acc[k]).subspan(
-            static_cast<std::size_t>(sched.nlocal_at_build)),
-        info.op, plan.ws);
+/// FOLD_SCATTER: folds one accumulator's local part with the op and pushes
+/// its ghost part back to the owners.
+void exec_fold_scatter(rt::Process& p, LoopPlan& plan, i32 k) {
+  const auto& info = plan.accs[static_cast<std::size_t>(k)];
+  const std::vector<f64>& acc = plan.acc_scratch[static_cast<std::size_t>(k)];
+  const auto& sched = info.refs_group == 0 ? plan.data_loc.schedule
+                                           : plan.direct_loc.schedule;
+  auto local = info.target->real->local();
+  for (i64 j = 0; j < sched.nlocal_at_build; ++j) {
+    local[static_cast<std::size_t>(j)] = core::apply_reduce(
+        info.op, local[static_cast<std::size_t>(j)],
+        acc[static_cast<std::size_t>(j)]);
   }
-  for (std::size_t k = 0; k < plan.assign_loc.size(); ++k) {
-    ArrayInfo* target = nullptr;
-    for (std::size_t si = 0; si < plan.writes.size(); ++si) {
-      if (plan.writes[si].refs_group == 2 &&
-          plan.writes[si].assign_slot == static_cast<int>(k)) {
-        target = &st.arrays.at(plan.writes[si].array);
-      }
-    }
-    CHAOS_CHECK(target != nullptr, "orphan assign schedule");
-    core::scatter_assign<f64>(p, plan.assign_loc[k].schedule,
-                              target->real->local(), assign_ghost[k],
-                              plan.ws);
-  }
+  p.clock().charge_ops(sched.nlocal_at_build, p.params().flop_us);
+  core::scatter_reduce<f64>(
+      p, sched, local,
+      std::span<const f64>(acc).subspan(
+          static_cast<std::size_t>(sched.nlocal_at_build)),
+      info.op, plan.ws);
+}
 
-  // The loop modified its targets: record it (once per written array; this
-  // is the "once per loop, not per element" property of nmod).
-  std::set<std::string> written;
-  for (const auto& w : plan.writes) written.insert(w.array);
-  for (const auto& name : written) {
-    st.registry.note_write(st.arrays.at(name).dad());
+/// SCATTER_ASSIGN: writes one private schedule's ghost values into the
+/// owners' elements.
+void exec_scatter_assign(rt::Process& p, LoopPlan& plan, i32 k) {
+  core::scatter_assign<f64>(
+      p, plan.assign_loc[static_cast<std::size_t>(k)].schedule,
+      plan.assign_targets[static_cast<std::size_t>(k)]->real->local(),
+      plan.assign_scratch[static_cast<std::size_t>(k)], plan.ws);
+}
+
+/// NOTE_WRITES: the loop modified its targets — record it (once per written
+/// array; this is the "once per loop, not per element" property of nmod).
+void exec_note_writes(LoopPlan& plan, core::ReuseRegistry& reg) {
+  for (ArrayInfo* target : plan.written_targets) {
+    reg.note_write(target->dad());
   }
+}
+
+/// Executes one FORALL through its plan (phase E) — the tree-walk oracle's
+/// executor, composed of the same ops the VM dispatches one by one, so both
+/// modes charge the virtual clock in the same sequence. Collective.
+void execute_loop(rt::Process& p, LoopPlan& plan, core::ReuseRegistry& reg) {
+  CHAOS_CHECK(plan.build.ready(),
+              "execute_loop: plan build incomplete — a failed inspection "
+              "must be retried before executing");
+  for (i32 k = 0; k < static_cast<i32>(plan.reads_data.size()); ++k) {
+    const std::span<f64> stage = exec_pack(plan, 0, k);
+    exec_exchange(p, plan, 0, k, stage);
+    exec_unpack(p, plan, 0);
+  }
+  for (i32 k = 0; k < static_cast<i32>(plan.reads_direct.size()); ++k) {
+    const std::span<f64> stage = exec_pack(plan, 1, k);
+    exec_exchange(p, plan, 1, k, stage);
+    exec_unpack(p, plan, 1);
+  }
+  exec_compute(p, plan);
+  for (i32 k = 0; k < static_cast<i32>(plan.accs.size()); ++k) {
+    exec_fold_scatter(p, plan, k);
+  }
+  for (i32 k = 0; k < static_cast<i32>(plan.assign_loc.size()); ++k) {
+    exec_scatter_assign(p, plan, k);
+  }
+  exec_note_writes(plan, reg);
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Statement dispatch
+// Statement dispatch: the tree-walk oracle
 // ---------------------------------------------------------------------------
 
 void Instance::run_statement(rt::Process& p, const Statement& s) {
+  State& st = *state_;
+
+  if (const auto* loop = std::get_if<DoLoop>(&s.node)) {
+    const i64 lo = resolve_size(loop->lo, st.scalars);
+    const i64 hi = resolve_size(loop->hi, st.scalars);
+    for (i64 v = lo; v <= hi; ++v) {
+      st.scalars[loop->var] = v;
+      for (const auto& inner : loop->body) run_statement(p, inner);
+    }
+    return;
+  }
+  if (const auto* f = std::get_if<Forall>(&s.node)) {
+    const ForallMeta* meta = nullptr;
+    for (const auto& fm : plan_->foralls) {
+      if (fm.loop_id == f->loop_id) {
+        meta = &fm;
+        break;
+      }
+    }
+    CHAOS_CHECK(meta != nullptr, "tree walk: FORALL missing from PlanIR");
+    const i64 lo = resolve_size(f->lo, st.scalars);
+    if (lo != 1) sema_fail("FORALL lower bound must be 1", f->line);
+    const i64 n = resolve_size(f->hi, st.scalars);
+
+    std::shared_ptr<LoopPlan> plan;
+    if (reuse_enabled_) {
+      // Assemble the guard DADs from a fresh AST scan — the tree walker's
+      // per-sweep overhead the VM's CHECK_INCARNATION replaces. (The
+      // iteration space's DAD rides along with the indirection guards.)
+      ExprScan scan;
+      std::set<std::string> all_arrays;
+      for (const auto& stmt : f->body) {
+        scan.note_index(stmt.target_index);
+        scan.scan(*stmt.value);
+        all_arrays.insert(stmt.target_array);
+      }
+      for (const auto& a : scan.read_data) all_arrays.insert(a);
+      for (const auto& a : scan.read_direct) all_arrays.insert(a);
+      std::vector<dist::Dad> data_dads;
+      for (const auto& name : all_arrays) {
+        data_dads.push_back(lookup_array(st, name, f->line).dad());
+      }
+      std::vector<dist::Dad> ind_dads;
+      for (const auto& name : scan.ind_names) {
+        ind_dads.push_back(lookup_array(st, name, f->line).dad());
+      }
+      plan = st.cache.get_or_build<LoopPlan>(
+          f->loop_id, st.registry, std::move(data_dads), std::move(ind_dads),
+          [&] { return build_plan(p, st, *meta, n, flat_locate_, phases_); });
+    } else {
+      plan = build_plan(p, st, *meta, n, flat_locate_, phases_);
+    }
+
+    rt::ClockSection section(p.clock());
+    execute_loop(p, *plan, st.registry);
+    phases_.executor += section.elapsed_sec();
+    return;
+  }
+  run_directive(p, s);
+}
+
+// ---------------------------------------------------------------------------
+// Directives (shared: the VM's DIRECTIVE op and the tree walk both land here)
+// ---------------------------------------------------------------------------
+
+void Instance::run_directive(rt::Process& p, const Statement& s) {
   State& st = *state_;
 
   if (const auto* d = std::get_if<DeclArrays>(&s.node)) {
@@ -1108,55 +1077,177 @@ void Instance::run_statement(rt::Process& p, const Statement& s) {
     phases_.remap += section.elapsed_sec();
     return;
   }
-  if (const auto* loop = std::get_if<DoLoop>(&s.node)) {
-    const i64 lo = resolve_size(loop->lo, st.scalars);
-    const i64 hi = resolve_size(loop->hi, st.scalars);
-    for (i64 v = lo; v <= hi; ++v) {
-      st.scalars[loop->var] = v;
-      for (const auto& inner : loop->body) run_statement(p, inner);
-    }
-    return;
-  }
-  if (const auto* f = std::get_if<Forall>(&s.node)) {
-    ForallContext ctx{&p, &st, f, 0};
-    const i64 lo = resolve_size(f->lo, st.scalars);
-    if (lo != 1) sema_fail("FORALL lower bound must be 1", f->line);
-    ctx.n = resolve_size(f->hi, st.scalars);
-
-    std::shared_ptr<LoopPlan> plan;
-    if (reuse_enabled_) {
-      // Assemble the guard DADs: data arrays and indirection arrays (the
-      // iteration space's DAD rides along with the indirection guards).
-      ExprScan scan;
-      std::set<std::string> all_arrays;
-      for (const auto& stmt : f->body) {
-        scan.note_index(stmt.target_index);
-        scan.scan(*stmt.value);
-        all_arrays.insert(stmt.target_array);
-      }
-      for (const auto& a : scan.read_data) all_arrays.insert(a);
-      for (const auto& a : scan.read_direct) all_arrays.insert(a);
-      std::vector<dist::Dad> data_dads;
-      for (const auto& name : all_arrays) {
-        data_dads.push_back(lookup_array(st, name, f->line).dad());
-      }
-      std::vector<dist::Dad> ind_dads;
-      for (const auto& name : scan.ind_names) {
-        ind_dads.push_back(lookup_array(st, name, f->line).dad());
-      }
-      plan = st.cache.get_or_build<LoopPlan>(
-          f->loop_id, st.registry, std::move(data_dads), std::move(ind_dads),
-          [&] { return build_loop_plan(ctx, phases_); });
-    } else {
-      plan = build_loop_plan(ctx, phases_);
-    }
-
-    rt::ClockSection section(p.clock());
-    execute_loop(p, *f, *plan, st);
-    phases_.executor += section.elapsed_sec();
-    return;
-  }
   CHAOS_CHECK(false, "unhandled statement kind");
+}
+
+// ---------------------------------------------------------------------------
+// The VM: a dispatch loop over PlanIR
+// ---------------------------------------------------------------------------
+
+void Instance::run_vm(rt::Process& p) {
+  State& st = *state_;
+  const ProgramPlan& prog = *plan_;
+  st.frt.resize(prog.foralls.size());
+
+  /// DO-loop activation record (bounds resolved once at LOOP_BEGIN).
+  struct Frame {
+    i64 cur;
+    i64 hi;
+    i32 body_pc;
+    const std::string* var;
+  };
+  std::vector<Frame> frames;
+
+  i32 pc = 0;
+  const i32 end = static_cast<i32>(prog.code.size());
+  while (pc < end) {
+    const PlanInstr ins = prog.code[static_cast<std::size_t>(pc)];
+    switch (ins.op) {
+      case PlanOp::Directive: {
+        run_directive(p, *prog.directives[static_cast<std::size_t>(ins.a)]);
+        ++pc;
+        break;
+      }
+      case PlanOp::LoopBegin: {
+        const LoopMeta& lm = prog.loops[static_cast<std::size_t>(ins.a)];
+        const i64 lo = resolve_size(lm.lo, st.scalars);
+        const i64 hi = resolve_size(lm.hi, st.scalars);
+        if (lo > hi) {
+          pc = ins.b;  // empty loop: the variable is never assigned
+          break;
+        }
+        st.scalars[lm.var] = lo;
+        frames.push_back({lo, hi, pc + 1, &lm.var});
+        ++pc;
+        break;
+      }
+      case PlanOp::LoopEnd: {
+        Frame& fr = frames.back();
+        if (++fr.cur <= fr.hi) {
+          st.scalars[*fr.var] = fr.cur;
+          pc = fr.body_pc;
+        } else {
+          frames.pop_back();  // the variable keeps its final value
+          ++pc;
+        }
+        break;
+      }
+      case PlanOp::CheckIncarnation: {
+        const ForallMeta& m = prog.foralls[static_cast<std::size_t>(ins.a)];
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        const i64 lo = resolve_size(m.lo, st.scalars);
+        if (lo != 1) sema_fail("FORALL lower bound must be 1", m.line);
+        fx.n = resolve_size(m.hi, st.scalars);
+        fx.plan = nullptr;
+        if (reuse_enabled_) {
+          fx.guard_data.clear();
+          for (const auto& name : m.guard_arrays) {
+            fx.guard_data.push_back(lookup_array(st, name, m.line).dad());
+          }
+          fx.guard_ind.clear();
+          for (const auto& name : m.ind_names) {
+            fx.guard_ind.push_back(lookup_array(st, name, m.line).dad());
+          }
+          if (auto hit = st.plan_cache.probe(m.loop_id, st.registry,
+                                             fx.guard_data, fx.guard_ind)) {
+            fx.plan = std::static_pointer_cast<LoopPlan>(std::move(hit));
+            pc = ins.b;  // warm entry: straight to EXEC_BEGIN
+            break;
+          }
+        }
+        ++pc;  // cold: fall through to PARTITION / LOCALIZE / STORE_PLAN
+        break;
+      }
+      case PlanOp::Partition: {
+        const ForallMeta& m = prog.foralls[static_cast<std::size_t>(ins.a)];
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        fx.plan = std::make_shared<LoopPlan>();
+        fx.plan->build.begin_build();
+        fx.plan->meta = &m;
+        fx.plan->iws.set_flat_locate(flat_locate_);
+        fx.plan->direct_iws.set_flat_locate(flat_locate_);
+        plan_partition(p, st, m, fx.n, *fx.plan, phases_);
+        ++pc;
+        break;
+      }
+      case PlanOp::Localize: {
+        const ForallMeta& m = prog.foralls[static_cast<std::size_t>(ins.a)];
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        plan_localize(p, st, m, *fx.plan, phases_);
+        fx.plan->build.mark_built();
+        ++pc;
+        break;
+      }
+      case PlanOp::StorePlan: {
+        const ForallMeta& m = prog.foralls[static_cast<std::size_t>(ins.a)];
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        if (reuse_enabled_) {
+          st.plan_cache.store(m.loop_id, st.registry, fx.guard_data,
+                              fx.guard_ind, fx.plan);
+        }
+        ++pc;
+        break;
+      }
+      case PlanOp::ExecBegin: {
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        CHAOS_CHECK(fx.plan && fx.plan->build.ready(),
+                    "execute_loop: plan build incomplete — a failed "
+                    "inspection must be retried before executing");
+        fx.exec_section.emplace(p.clock());
+        ++pc;
+        break;
+      }
+      case PlanOp::Pack: {
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        fx.stage = exec_pack(*fx.plan, ins.b, ins.c);
+        ++pc;
+        break;
+      }
+      case PlanOp::Exchange: {
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        exec_exchange(p, *fx.plan, ins.b, ins.c, fx.stage);
+        ++pc;
+        break;
+      }
+      case PlanOp::Unpack: {
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        exec_unpack(p, *fx.plan, ins.b);
+        ++pc;
+        break;
+      }
+      case PlanOp::Compute: {
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        exec_compute(p, *fx.plan);
+        ++pc;
+        break;
+      }
+      case PlanOp::FoldScatter: {
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        exec_fold_scatter(p, *fx.plan, ins.c);
+        ++pc;
+        break;
+      }
+      case PlanOp::ScatterAssign: {
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        exec_scatter_assign(p, *fx.plan, ins.c);
+        ++pc;
+        break;
+      }
+      case PlanOp::NoteWrites: {
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        exec_note_writes(*fx.plan, st.registry);
+        ++pc;
+        break;
+      }
+      case PlanOp::ExecEnd: {
+        ForallRt& fx = st.frt[static_cast<std::size_t>(ins.a)];
+        phases_.executor += fx.exec_section->elapsed_sec();
+        fx.exec_section.reset();
+        ++pc;
+        break;
+      }
+    }
+  }
 }
 
 void Instance::execute(rt::Process& p) {
@@ -1171,7 +1262,11 @@ void Instance::execute(rt::Process& p) {
       throw LangError("parameter '" + name + "' is not bound by the host", 0);
     }
   }
-  for (const auto& s : program_->statements) run_statement(p, s);
+  if (tree_walk_) {
+    for (const auto& s : program_->statements) run_statement(p, s);
+  } else {
+    run_vm(p);
+  }
 }
 
 std::vector<f64> Instance::fetch_real(rt::Process& p,

@@ -4,6 +4,13 @@
 // (K1..K4), and every FORALL is executed through the inspector/executor
 // pipeline with the Section 3 schedule-reuse guard inserted automatically.
 //
+// Execution is a dispatch loop over PlanIR bytecode (bytecode.hpp): the AST
+// is lowered once at Instance construction, and warm FORALL re-executions
+// ride a program-level plan cache keyed by (statement id, DAD incarnation
+// set) — zero AST visits, zero inspector invocations. The original
+// tree-walking interpreter is kept behind set_tree_walk(true) as a debug
+// oracle; both modes produce bit-identical modeled times and results.
+//
 // Usage (identical on every process):
 //   auto prog = lang::compile(source);
 //   lang::Instance inst(prog);
@@ -25,6 +32,8 @@
 #include "lang/ast.hpp"
 
 namespace chaos::lang {
+
+struct ProgramPlan;  // lowered bytecode (bytecode.hpp)
 
 /// Virtual-time spent per pipeline phase (seconds), matching the row labels
 /// of the paper's Tables 2-4.
@@ -66,6 +75,18 @@ class Instance {
   /// "without schedule reuse" configuration of Table 1.
   void set_schedule_reuse(bool enabled) { reuse_enabled_ = enabled; }
 
+  /// Debug oracle: interpret the AST directly (the pre-VM tree walk, with
+  /// its per-sweep guard scan) instead of dispatching the lowered PlanIR.
+  /// Results, modeled times, and cache statistics are bit-identical to the
+  /// VM on programs that never revisit an earlier DAD incarnation set.
+  void set_tree_walk(bool enabled) { tree_walk_ = enabled; }
+
+  /// Uses the flat (paged) translation-lookup protocol inside FORALL
+  /// inspectors (see core::InspectorWorkspace::set_flat_locate). Off by
+  /// default so existing modeled baselines stay bit-identical; the bench
+  /// pipelines turn it on.
+  void set_flat_locate(bool enabled) { flat_locate_ = enabled; }
+
   // --- execution ------------------------------------------------------------
 
   /// Collective: runs the whole program.
@@ -86,17 +107,27 @@ class Instance {
   // --- introspection ---------------------------------------------------------
 
   [[nodiscard]] const PhaseTimes& phases() const { return phases_; }
+  /// Hit/miss counts of the FORALL reuse guard: the plan cache (VM mode) or
+  /// the inspector cache (tree-walk mode). Safe before the first execute —
+  /// returns zeroed stats.
   [[nodiscard]] const core::InspectorCache::Stats& cache_stats() const;
   /// Hit/miss counts of the mapper-coupler cache (CONSTRUCT / SET reuse).
+  /// Safe before the first execute — returns zeroed stats.
   [[nodiscard]] const core::InspectorCache::Stats& mapper_cache_stats() const;
+  /// Safe before the first execute — returns an empty registry.
   [[nodiscard]] const core::ReuseRegistry& reuse_registry() const;
 
  private:
   void run_statement(rt::Process& p, const Statement& s);
+  void run_directive(rt::Process& p, const Statement& s);
+  void run_vm(rt::Process& p);
 
   const Program* program_;
   bool reuse_enabled_ = true;
+  bool tree_walk_ = false;
+  bool flat_locate_ = false;
   PhaseTimes phases_;
+  std::unique_ptr<const ProgramPlan> plan_;
   std::map<std::string, i64> host_params_;
   std::map<std::string, std::vector<f64>> real_bindings_;
   std::map<std::string, std::vector<i64>> int_bindings_;

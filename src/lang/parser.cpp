@@ -29,7 +29,10 @@ std::vector<Line> logical_lines(const std::string& source) {
     // Fixed-form comment: 'C' or '*' in column 1 (but "C$" is a directive).
     if (!text.empty() && (text[0] == 'C' || text[0] == 'c' || text[0] == '*')) {
       if (text.size() >= 2 && text[1] == '$') {
-        text = text.substr(2);
+        // Blank the sentinel instead of stripping it so token columns keep
+        // pointing at the raw source line in diagnostics.
+        text[0] = ' ';
+        text[1] = ' ';
       } else {
         continue;
       }
@@ -100,6 +103,7 @@ class Parser {
   SizeExpr parse_size(Cursor& c) {
     SizeExpr s;
     s.line = c.peek().line;
+    s.column = c.peek().column;
     if (c.peek().kind == Tok::Number) {
       const Token t = c.next();
       s.literal = static_cast<i64>(t.number);
@@ -179,9 +183,11 @@ class Parser {
   }
 
   Distribute parse_distribute(Cursor& c) {
+    const int col = c.peek().column;
     expect_kw(c, "DISTRIBUTE");
     Distribute d;
     d.line = line().number;
+    d.column = col;
     d.decomp = expect_name(c, "decomposition name");
     expect(c, Tok::LParen, "'('");
     d.format = expect_name(c, "distribution format");
@@ -193,6 +199,7 @@ class Parser {
       c.next();
       Distribute more;
       more.line = d.line;
+      more.column = c.peek().column;
       more.decomp = expect_name(c, "decomposition name");
       expect(c, Tok::LParen, "'('");
       more.format = expect_name(c, "distribution format");
@@ -205,9 +212,11 @@ class Parser {
   }
 
   Align parse_align(Cursor& c) {
+    const int col = c.peek().column;
     expect_kw(c, "ALIGN");
     Align a;
     a.line = line().number;
+    a.column = col;
     while (true) {
       a.arrays.push_back(expect_name(c, "array name"));
       if (c.peek().kind != Tok::Comma) break;
@@ -221,9 +230,11 @@ class Parser {
   }
 
   Construct parse_construct(Cursor& c) {
+    const int col = c.peek().column;
     expect_kw(c, "CONSTRUCT");
     Construct g;
     g.line = line().number;
+    g.column = col;
     g.name = expect_name(c, "GeoCoL name");
     expect(c, Tok::LParen, "'('");
     g.nverts = parse_size(c);
@@ -262,9 +273,11 @@ class Parser {
   }
 
   SetPartition parse_set(Cursor& c) {
+    const int col = c.peek().column;
     expect_kw(c, "SET");
     SetPartition s;
     s.line = line().number;
+    s.column = col;
     s.dist_name = expect_name(c, "distribution name");
     expect_kw(c, "BY");
     expect_kw(c, "PARTITIONING");
@@ -282,9 +295,11 @@ class Parser {
   }
 
   Redistribute parse_redistribute(Cursor& c) {
+    const int col = c.peek().column;
     expect_kw(c, "REDISTRIBUTE");
     Redistribute r;
     r.line = line().number;
+    r.column = col;
     r.decomp = expect_name(c, "decomposition name");
     expect(c, Tok::LParen, "'('");
     r.dist_name = expect_name(c, "distribution name");
@@ -295,9 +310,11 @@ class Parser {
   }
 
   DoLoop parse_do(Cursor& c, Program& prog) {
+    const int col = c.peek().column;
     expect_kw(c, "DO");
     DoLoop loop;
     loop.line = line().number;
+    loop.column = col;
     loop.var = expect_name(c, "loop variable");
     expect(c, Tok::Assign, "'='");
     loop.lo = parse_size(c);
@@ -310,7 +327,7 @@ class Parser {
     ++cursor_;
     while (true) {
       if (cursor_ >= lines_.size()) {
-        throw LangError("DO without END DO", loop.line);
+        throw LangError("DO without END DO", loop.line, loop.column);
       }
       Cursor probe{&line().tokens};
       if (is_ident(probe.peek(), "END")) {
@@ -335,9 +352,11 @@ class Parser {
   }
 
   Forall parse_forall(Cursor& c, Program& prog) {
+    const int col = c.peek().column;
     expect_kw(c, "FORALL");
     Forall f;
     f.line = line().number;
+    f.column = col;
     f.loop_id = ++prog.forall_count;
     f.loop_var = expect_name(c, "loop variable");
     expect(c, Tok::Assign, "'='");
@@ -350,7 +369,7 @@ class Parser {
 
     while (true) {
       if (cursor_ >= lines_.size()) {
-        throw LangError("FORALL without END FORALL", f.line);
+        throw LangError("FORALL without END FORALL", f.line, f.column);
       }
       Cursor b{&line().tokens};
       if (is_ident(b.peek(), "END")) {
@@ -363,13 +382,16 @@ class Parser {
       f.body.push_back(parse_loop_statement(b, f.loop_var));
       ++cursor_;
     }
-    if (f.body.empty()) throw LangError("empty FORALL body", f.line);
+    if (f.body.empty()) {
+      throw LangError("empty FORALL body", f.line, f.column);
+    }
     return f;
   }
 
   LoopStatement parse_loop_statement(Cursor& c, const std::string& loop_var) {
     LoopStatement s;
     s.line = line().number;
+    s.column = c.peek().column;
     if (is_ident(c.peek(), "REDUCE")) {
       c.next();
       expect(c, Tok::LParen, "'('");
@@ -411,6 +433,7 @@ class Parser {
   IndexRef parse_index(Cursor& c, const std::string& loop_var) {
     IndexRef idx;
     idx.line = c.peek().line;
+    idx.column = c.peek().column;
     const std::string name = expect_name(c, "loop variable or ind(i)");
     if (name == loop_var) {
       idx.direct = true;
@@ -448,6 +471,7 @@ class Parser {
       ExprPtr rhs = parse_term(c, loop_var);
       auto e = std::make_unique<Expr>();
       e->line = lhs->line;
+      e->column = lhs->column;
       e->node = Expr::Binary{op, std::move(lhs), std::move(rhs)};
       lhs = std::move(e);
     }
@@ -461,6 +485,7 @@ class Parser {
       ExprPtr rhs = parse_factor(c, loop_var);
       auto e = std::make_unique<Expr>();
       e->line = lhs->line;
+      e->column = lhs->column;
       e->node = Expr::Binary{op, std::move(lhs), std::move(rhs)};
       lhs = std::move(e);
     }
@@ -474,6 +499,7 @@ class Parser {
       if (!negate) return operand;
       auto e = std::make_unique<Expr>();
       e->line = operand->line;
+      e->column = operand->column;
       e->node = Expr::Unary{true, std::move(operand)};
       return e;
     }
@@ -483,6 +509,7 @@ class Parser {
       ExprPtr exponent = parse_factor(c, loop_var);  // right associative
       auto e = std::make_unique<Expr>();
       e->line = base->line;
+      e->column = base->column;
       e->node = Expr::Binary{BinOp::Pow, std::move(base), std::move(exponent)};
       return e;
     }
@@ -493,6 +520,7 @@ class Parser {
     const Token t = c.peek();
     auto e = std::make_unique<Expr>();
     e->line = t.line;
+    e->column = t.column;
     if (t.kind == Tok::Number) {
       c.next();
       e->node = Expr::Num{t.number};

@@ -199,3 +199,30 @@ TEST(Parser, ErrorsCarryLineNumbers) {
         << e.what();
   }
 }
+
+TEST(Parser, ErrorsRenderLineAndColumn) {
+  // Diagnostics render as "line L:C: message" with C a 1-based column into
+  // the raw source line (the C$ sentinel is blanked, not stripped, so
+  // directive columns stay aligned with the file).
+  try {
+    lang::compile("\n\nC$ DISTRIBUTE reg BLOCK\n");
+    FAIL() << "expected LangError";
+  } catch (const lang::LangError& e) {
+    // "BLOCK" starts at column 19 of the raw line, where '(' was expected.
+    EXPECT_EQ(std::string(e.what()), "line 3:19: expected '('");
+  }
+
+  try {
+    lang::compile(R"(
+      FORALL i = 1, n
+        y(i) = x(i) +
+      END FORALL
+)");
+    FAIL() << "expected LangError";
+  } catch (const lang::LangError& e) {
+    const std::string msg = e.what();
+    // Whatever the wording, the location prefix must carry line AND column.
+    EXPECT_EQ(msg.rfind("line 3:", 0), 0u) << msg;
+    EXPECT_NE(msg.find(": "), std::string::npos) << msg;
+  }
+}
