@@ -208,6 +208,20 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
   result.retries = supervisor.stats().retries;
   result.recoveries = supervisor.stats().recoveries;
   result.backoff_wall_ms = supervisor.stats().backoff_wall_ms;
+  result.checkpoint_captures = totals.checkpoint_captures;
+  result.checkpoint_bytes = totals.checkpoint_bytes;
+  result.restored_segments = totals.restored_segments;
+  result.restored_bytes = totals.restored_bytes;
+  result.shrinks = machine.shrink_count();
+  // A clean run must leave every mailbox shard empty: a nonzero per-shard
+  // breakdown here means a phase leaked messages it claims it consumed (the
+  // recover() footgun, DESIGN.md §12). recover_report() on a clean machine
+  // is a cheap no-op probe.
+  if (supervisor.stats().attempts == 1) {
+    const rt::RecoverReport post = machine.recover_report();
+    CHAOS_CHECK(post.dirty_shards.empty(),
+                "clean bench run left messages in mailbox shards");
+  }
 
   result.wall_seconds =
       std::chrono::duration<f64>(std::chrono::steady_clock::now() - wall_start)
@@ -306,6 +320,20 @@ PhaseResult run_compiler_pipeline(int procs, const Workload& w,
   result.retries = supervisor.stats().retries;
   result.recoveries = supervisor.stats().recoveries;
   result.backoff_wall_ms = supervisor.stats().backoff_wall_ms;
+  result.checkpoint_captures = totals.checkpoint_captures;
+  result.checkpoint_bytes = totals.checkpoint_bytes;
+  result.restored_segments = totals.restored_segments;
+  result.restored_bytes = totals.restored_bytes;
+  result.shrinks = machine.shrink_count();
+  // A clean run must leave every mailbox shard empty: a nonzero per-shard
+  // breakdown here means a phase leaked messages it claims it consumed (the
+  // recover() footgun, DESIGN.md §12). recover_report() on a clean machine
+  // is a cheap no-op probe.
+  if (supervisor.stats().attempts == 1) {
+    const rt::RecoverReport post = machine.recover_report();
+    CHAOS_CHECK(post.dirty_shards.empty(),
+                "clean bench run left messages in mailbox shards");
+  }
 
   result.wall_seconds =
       std::chrono::duration<f64>(std::chrono::steady_clock::now() - wall_start)
@@ -348,6 +376,24 @@ void print_footer(const RobustnessTally& tally) {
       "(max over processes).\n");
   if (tally.clean()) {
     std::printf("robustness: clean run (0 faults injected, 0 timeouts, "
+                "0 poisoned waits, 0 retries).\n");
+    return;
+  }
+  if (tally.checkpoint_captures > 0 || tally.restored_segments > 0 ||
+      tally.shrinks > 0) {
+    std::printf("degradation: %lld checkpoint captures, %lld segments "
+                "restored, %lld machine shrink%s survived.\n",
+                static_cast<long long>(tally.checkpoint_captures),
+                static_cast<long long>(tally.restored_segments),
+                static_cast<long long>(tally.shrinks),
+                tally.shrinks == 1 ? "" : "s");
+  }
+  if (tally.faults_injected == 0 && tally.timeouts == 0 &&
+      tally.poisoned_waits == 0 && tally.retries == 0 &&
+      tally.recoveries == 0) {
+    // Only the degradation counters were nonzero: the machine itself never
+    // misbehaved (e.g. a bench that checkpoints proactively).
+    std::printf("robustness: clean machine (0 faults injected, 0 timeouts, "
                 "0 poisoned waits, 0 retries).\n");
   } else if (tally.retries > 0 && tally.faults_injected == 0 &&
              tally.timeouts == 0 && tally.poisoned_waits == 0) {

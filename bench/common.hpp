@@ -94,6 +94,14 @@ struct PhaseResult {
   i64 retries = 0;
   i64 recoveries = 0;
   f64 backoff_wall_ms = 0.0;
+  /// Degradation counters (DESIGN.md §13): partner-checkpoint captures and
+  /// their payload, segments/bytes re-adopted by shrink-remap restores, and
+  /// machine width narrowings. All zero on a clean run.
+  i64 checkpoint_captures = 0;
+  i64 checkpoint_bytes = 0;
+  i64 restored_segments = 0;
+  i64 restored_bytes = 0;
+  i64 shrinks = 0;
 
   [[nodiscard]] f64 total() const {
     return graph_gen + partitioner + inspector + remap + executor;
@@ -135,6 +143,9 @@ struct RobustnessTally {
   i64 retries = 0;
   i64 recoveries = 0;
   f64 backoff_wall_ms = 0.0;
+  i64 checkpoint_captures = 0;
+  i64 restored_segments = 0;
+  i64 shrinks = 0;
 
   void add(const PhaseResult& r) {
     faults_injected += r.faults_injected;
@@ -143,10 +154,14 @@ struct RobustnessTally {
     retries += r.retries;
     recoveries += r.recoveries;
     backoff_wall_ms += r.backoff_wall_ms;
+    checkpoint_captures += r.checkpoint_captures;
+    restored_segments += r.restored_segments;
+    shrinks += r.shrinks;
   }
   [[nodiscard]] bool clean() const {
     return faults_injected == 0 && timeouts == 0 && poisoned_waits == 0 &&
-           retries == 0 && recoveries == 0;
+           retries == 0 && recoveries == 0 && checkpoint_captures == 0 &&
+           restored_segments == 0 && shrinks == 0;
   }
 };
 

@@ -28,12 +28,14 @@ struct SupervisorStats {
   i64 attempts = 0;         ///< Machine::run invocations (>= phases)
   i64 retries = 0;          ///< attempts beyond each phase's first
   i64 recoveries = 0;       ///< phases that succeeded after >= 1 failure
-  i64 gave_up = 0;          ///< phases rethrown (exhausted or fatal)
+  i64 gave_up = 0;          ///< phases escalated or rethrown (exhausted/fatal)
   i64 messages_drained = 0; ///< undelivered messages Machine::recover dropped
+  i64 dirty_shards = 0;     ///< (dest, source) mailbox shards found dirty
   f64 backoff_wall_ms = 0.0;  ///< wall-clock slept between attempts
 
   [[nodiscard]] bool clean() const {
-    return retries == 0 && gave_up == 0 && messages_drained == 0;
+    return retries == 0 && gave_up == 0 && messages_drained == 0 &&
+           dirty_shards == 0;
   }
 };
 
@@ -45,23 +47,39 @@ class Supervisor {
 
   /// Runs @p body via Machine::run. On a retryable failure (rt::
   /// is_retryable) with attempts remaining: recovers the machine, sleeps
-  /// the policy's backoff (wall-clock only), and retries. Rethrows the
-  /// last error when attempts are exhausted or the error is fatal —
-  /// after recovering the machine, so a caller that catches can keep
-  /// using it. @p phase_name labels nothing but future diagnostics; it is
-  /// not stored per-phase.
+  /// the policy's backoff (wall-clock only), and retries. A FATAL error
+  /// (CHAOS_CHECK violation, logic bug) is rethrown as-is — retrying
+  /// deterministic breakage is meaningless and so is blaming a rank. A
+  /// RETRYABLE error that survives the whole retry budget is escalated:
+  /// the transient-fault hypothesis is falsified, so run_phase throws a
+  /// typed chaos::PermanentFault naming the presumed-dead rank (from the
+  /// FaultInjected's detonation rank or a MachineTimeout's first missing
+  /// rank) and the fault site, and the caller is expected to degrade
+  /// (DESIGN.md §13). Either way the machine is recovered first, so a
+  /// catching caller can keep using it. @p phase_name labels the
+  /// escalation message and future diagnostics; it is not stored.
   void run_phase(const char* phase_name,
                  const std::function<void(rt::Process&)>& body);
 
   [[nodiscard]] const SupervisorStats& stats() const { return stats_; }
+  /// Per-shard breakdown of the most recent failed attempt's drained
+  /// mailboxes (empty if every attempt so far was clean): which
+  /// (dest, source) pairs were mid-flight when the failure hit.
+  [[nodiscard]] const std::vector<rt::ShardDrain>& last_dirty_shards() const {
+    return last_dirty_shards_;
+  }
   [[nodiscard]] const rt::RetryPolicy& policy() const { return policy_; }
   [[nodiscard]] rt::Machine& machine() { return *machine_; }
-  void reset_stats() { stats_ = SupervisorStats{}; }
+  void reset_stats() {
+    stats_ = SupervisorStats{};
+    last_dirty_shards_.clear();
+  }
 
  private:
   rt::Machine* machine_;
   rt::RetryPolicy policy_;
   SupervisorStats stats_;
+  std::vector<rt::ShardDrain> last_dirty_shards_;
 };
 
 }  // namespace chaos::core

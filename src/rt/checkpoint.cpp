@@ -1,0 +1,229 @@
+#include "rt/checkpoint.hpp"
+
+#include <cstring>
+
+#include "rt/collectives.hpp"
+
+namespace chaos::rt {
+
+namespace {
+
+/// Fixed-width per-segment header, memcpy'd in and out of the blob (the
+/// wire format must not depend on struct padding, so it is all 8-byte
+/// fields and trivially copyable).
+struct SegmentHeader {
+  u64 array_id;
+  u64 incarnation;
+  u64 nmod;
+  i64 global_size;
+  i64 elem_size;
+  i64 count;  ///< owned elements in this segment
+};
+static_assert(sizeof(SegmentHeader) == 48);
+
+i64 pad8(i64 n) { return (n + 7) & ~i64{7}; }
+
+void append_bytes(std::vector<std::byte>& blob, const void* src, i64 n) {
+  const auto old = blob.size();
+  blob.resize(old + static_cast<std::size_t>(n));
+  if (n > 0) std::memcpy(blob.data() + old, src, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(int max_nprocs)
+    : max_nprocs_(max_nprocs),
+      staged_(static_cast<std::size_t>(max_nprocs)),
+      staged_ok_(static_cast<std::size_t>(max_nprocs), 0),
+      committed_(static_cast<std::size_t>(max_nprocs)) {
+  CHAOS_CHECK(max_nprocs >= 1, "checkpoint store needs at least one rank");
+}
+
+void CheckpointStore::capture(Process& p, u64 epoch,
+                              std::span<const SegmentView> segments) {
+  const int np = p.nprocs();
+  CHAOS_CHECK(np <= max_nprocs_,
+              "checkpoint capture: machine wider than the store");
+  // Serialize my segments: header, globals, values, each padded to 8 bytes
+  // so every header lands naturally aligned for the memcpy decode.
+  std::vector<std::byte> blob;
+  i64 total = 0;
+  for (const SegmentView& v : segments) {
+    CHAOS_CHECK(v.elem_size > 0, "checkpoint capture: bad element size");
+    CHAOS_CHECK(static_cast<i64>(v.values.size()) ==
+                    static_cast<i64>(v.globals.size()) * v.elem_size,
+                "checkpoint capture: globals/values length mismatch");
+    total += static_cast<i64>(sizeof(SegmentHeader)) +
+             static_cast<i64>(v.globals.size_bytes()) +
+             pad8(static_cast<i64>(v.values.size()));
+  }
+  blob.reserve(static_cast<std::size_t>(total));
+  for (const SegmentView& v : segments) {
+    SegmentHeader h{v.array_id, v.incarnation,         v.nmod,
+                    v.global_size, v.elem_size,
+                    static_cast<i64>(v.globals.size())};
+    append_bytes(blob, &h, sizeof(h));
+    append_bytes(blob, v.globals.data(),
+                 static_cast<i64>(v.globals.size_bytes()));
+    append_bytes(blob, v.values.data(), static_cast<i64>(v.values.size()));
+    const i64 pad = pad8(static_cast<i64>(v.values.size())) -
+                    static_cast<i64>(v.values.size());
+    for (i64 k = 0; k < pad; ++k) blob.push_back(std::byte{0});
+  }
+
+  // Ship the whole blob to my buddy through the flat CSR exchange: one
+  // honest modeled collective (counts round + payload round), passing the
+  // same fault-injection sites as any production exchange.
+  const int partner = partner_of(p.rank(), np);
+  std::vector<i64> send_offsets(static_cast<std::size_t>(np) + 1, 0);
+  for (int r = 0; r <= np; ++r) {
+    send_offsets[static_cast<std::size_t>(r)] =
+        r > partner ? static_cast<i64>(blob.size()) : 0;
+  }
+  std::vector<std::byte> recv;
+  std::vector<i64> recv_offsets;
+  std::vector<i64> counts_scratch;
+  exchange_csr<std::byte>(p, blob, send_offsets, recv, recv_offsets,
+                          counts_scratch);
+  p.stats().note_checkpoint(static_cast<i64>(blob.size()));
+
+  // Deserialize the snapshot I now hold for my source (the rank whose buddy
+  // I am) and stage it. Exactly one rank deposits into each staging slot.
+  const int src = (p.rank() - 1 + np) % np;
+  const std::byte* cur = recv.data() + recv_offsets[static_cast<std::size_t>(src)];
+  const std::byte* end =
+      recv.data() + recv_offsets[static_cast<std::size_t>(src) + 1];
+  RankCheckpoint ck;
+  ck.epoch = epoch;
+  ck.rank = src;
+  ck.width = np;
+  ck.segments.reserve(segments.size());
+  while (cur < end) {
+    CHAOS_CHECK(end - cur >= static_cast<std::ptrdiff_t>(sizeof(SegmentHeader)),
+                "checkpoint capture: truncated snapshot header");
+    SegmentHeader h;
+    std::memcpy(&h, cur, sizeof(h));
+    cur += sizeof(h);
+    CHAOS_CHECK(h.count >= 0 && h.elem_size > 0,
+                "checkpoint capture: corrupt snapshot header");
+    const i64 gbytes = h.count * static_cast<i64>(sizeof(i64));
+    const i64 vbytes = h.count * h.elem_size;
+    CHAOS_CHECK(end - cur >= gbytes + pad8(vbytes),
+                "checkpoint capture: truncated snapshot payload");
+    SegmentSnapshot s;
+    s.array_id = h.array_id;
+    s.incarnation = h.incarnation;
+    s.nmod = h.nmod;
+    s.global_size = h.global_size;
+    s.elem_size = h.elem_size;
+    s.globals.resize(static_cast<std::size_t>(h.count));
+    if (gbytes > 0) std::memcpy(s.globals.data(), cur, static_cast<std::size_t>(gbytes));
+    cur += gbytes;
+    s.values.resize(static_cast<std::size_t>(vbytes));
+    if (vbytes > 0) std::memcpy(s.values.data(), cur, static_cast<std::size_t>(vbytes));
+    cur += pad8(vbytes);
+    ck.segments.push_back(std::move(s));
+  }
+  CHAOS_CHECK(ck.segments.size() == segments.size(),
+              "checkpoint capture: peer snapshot has wrong segment count");
+  deposit(std::move(ck));
+}
+
+void CheckpointStore::deposit(RankCheckpoint&& ck) {
+  std::lock_guard lock(mutex_);
+  if (staged_count_ == 0 || staged_epoch_ != ck.epoch ||
+      staged_width_ != ck.width) {
+    // First deposit of a new capture round: supersede stale staging from an
+    // abandoned earlier round (different epoch or width). A RETRIED round
+    // keeps the matching slots — they are simply overwritten below.
+    for (auto& f : staged_ok_) f = 0;
+    staged_count_ = 0;
+    staged_epoch_ = ck.epoch;
+    staged_width_ = ck.width;
+  }
+  const auto slot = static_cast<std::size_t>(ck.rank);
+  if (!staged_ok_[slot]) {
+    staged_ok_[slot] = 1;
+    ++staged_count_;
+  }
+  staged_[slot] = std::move(ck);
+}
+
+void CheckpointStore::commit() {
+  std::lock_guard lock(mutex_);
+  CHAOS_CHECK(staged_count_ > 0, "checkpoint commit: nothing staged");
+  CHAOS_CHECK(staged_count_ == staged_width_,
+              "checkpoint commit: capture incomplete — a failed phase must "
+              "be discarded, not committed");
+  for (int r = 0; r < staged_width_; ++r) {
+    // Move-assign frees the superseded epoch's payload slot by slot — this
+    // IS the garbage collection of old snapshots.
+    committed_[static_cast<std::size_t>(r)] =
+        std::move(staged_[static_cast<std::size_t>(r)]);
+    staged_ok_[static_cast<std::size_t>(r)] = 0;
+  }
+  for (int r = staged_width_; r < max_nprocs_; ++r) {
+    committed_[static_cast<std::size_t>(r)] = RankCheckpoint{};
+  }
+  committed_epoch_ = staged_epoch_;
+  committed_width_ = staged_width_;
+  has_committed_ = true;
+  ++commits_;
+  staged_count_ = 0;
+}
+
+void CheckpointStore::discard_staged() {
+  std::lock_guard lock(mutex_);
+  for (int r = 0; r < max_nprocs_; ++r) {
+    if (staged_ok_[static_cast<std::size_t>(r)]) {
+      staged_[static_cast<std::size_t>(r)] = RankCheckpoint{};
+      staged_ok_[static_cast<std::size_t>(r)] = 0;
+    }
+  }
+  staged_count_ = 0;
+}
+
+bool CheckpointStore::has_committed() const {
+  std::lock_guard lock(mutex_);
+  return has_committed_;
+}
+
+u64 CheckpointStore::epoch() const {
+  std::lock_guard lock(mutex_);
+  CHAOS_CHECK(has_committed_, "checkpoint epoch: nothing committed");
+  return committed_epoch_;
+}
+
+int CheckpointStore::width() const {
+  std::lock_guard lock(mutex_);
+  CHAOS_CHECK(has_committed_, "checkpoint width: nothing committed");
+  return committed_width_;
+}
+
+const RankCheckpoint& CheckpointStore::of(int rank) const {
+  std::lock_guard lock(mutex_);
+  CHAOS_CHECK(has_committed_, "checkpoint of: nothing committed");
+  CHAOS_CHECK(rank >= 0 && rank < committed_width_,
+              "checkpoint of: rank outside the committed width");
+  return committed_[static_cast<std::size_t>(rank)];
+}
+
+i64 CheckpointStore::commits() const {
+  std::lock_guard lock(mutex_);
+  return commits_;
+}
+
+i64 CheckpointStore::committed_bytes() const {
+  std::lock_guard lock(mutex_);
+  i64 bytes = 0;
+  for (int r = 0; r < committed_width_; ++r) {
+    for (const SegmentSnapshot& s :
+         committed_[static_cast<std::size_t>(r)].segments) {
+      bytes += static_cast<i64>(s.globals.size() * sizeof(i64)) +
+               static_cast<i64>(s.values.size());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace chaos::rt

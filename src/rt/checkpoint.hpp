@@ -1,0 +1,133 @@
+// Epoch-stamped in-memory partner checkpoints (DESIGN.md §13).
+//
+// A CheckpointStore holds, per logical rank, a serialized snapshot of every
+// registered distributed-array segment together with the identity that makes
+// it restorable: the owning DAD's incarnation, the ReuseRegistry nmod stamp
+// it was taken under, the global array extent, and the owned global indices
+// themselves. Snapshots are self-describing on purpose — after a permanent
+// rank failure the dead rank's segment must be reconstructible from its
+// buddy's copy alone, with no access to the dead rank's distribution object.
+//
+// Placement is the classic partner scheme: rank r's snapshot lives on rank
+// (r+1) mod P (its buddy), shipped through the existing flat CSR exchange so
+// the capture carries an honest modeled collective charge and passes through
+// the same fault-injection sites (Alltoall, AlltoallvFlat) as any other
+// collective. The store itself is host memory shared by all ranks of one
+// Machine: "on the buddy" is a placement/modeling statement (the buddy pays
+// the receive charge and performs the deposit), and it is what makes the
+// restore story honest — the data provably crossed a rank boundary before
+// the failure.
+//
+// Capture is two-phase. The collective capture() deposits into a STAGING
+// area (one writer per slot: the buddy of each source rank); the host-side
+// commit() — called only after the supervised checkpoint phase returned
+// cleanly — atomically promotes staging to the committed checkpoint and
+// frees the superseded epoch (the GC). A capture that faults mid-exchange
+// unwinds before commit, so the previous committed checkpoint always
+// survives a failed attempt.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "rt/machine.hpp"
+#include "rt/types.hpp"
+
+namespace chaos::rt {
+
+/// Caller-supplied view of one registered segment at capture time. Spans
+/// must stay valid for the duration of the capture call only.
+struct SegmentView {
+  u64 array_id = 0;      ///< caller's stable id (registration order index)
+  u64 incarnation = 0;   ///< owning distribution's DAD incarnation
+  u64 nmod = 0;          ///< ReuseRegistry modification stamp at capture
+  i64 global_size = 0;   ///< global extent of the array
+  i64 elem_size = 0;     ///< sizeof one element (trivially copyable)
+  std::span<const i64> globals;        ///< owned globals, local-index order
+  std::span<const std::byte> values;   ///< owned values, same order
+};
+
+/// Deserialized snapshot of one segment, as deposited on the buddy.
+struct SegmentSnapshot {
+  u64 array_id = 0;
+  u64 incarnation = 0;
+  u64 nmod = 0;
+  i64 global_size = 0;
+  i64 elem_size = 0;
+  std::vector<i64> globals;
+  std::vector<std::byte> values;
+};
+
+/// One rank's full checkpoint: every registered segment at one epoch.
+struct RankCheckpoint {
+  u64 epoch = 0;
+  int rank = -1;   ///< source logical rank (at capture-time numbering)
+  int width = 0;   ///< active machine width when the capture ran
+  std::vector<SegmentSnapshot> segments;
+};
+
+/// Partner-mirrored, epoch-stamped checkpoint store for one Machine.
+/// capture() is collective (call from every active rank of a run);
+/// commit()/discard_staged()/accessors are host-side, between runs.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int max_nprocs);
+
+  /// The buddy that holds @p rank's snapshot at machine width @p nprocs.
+  [[nodiscard]] static int partner_of(int rank, int nprocs) {
+    return (rank + 1) % nprocs;
+  }
+
+  /// Collective. Serializes this rank's @p segments, ships the blob to the
+  /// buddy through exchange_csr (modeled charge + fault-injection sites),
+  /// and stages the received snapshot. Every active rank must pass the same
+  /// @p epoch and the same number of segments in the same registration
+  /// order (SPMD). Throws — without corrupting the committed checkpoint —
+  /// if the underlying exchange faults.
+  void capture(Process& p, u64 epoch, std::span<const SegmentView> segments);
+
+  /// Host-side, after the capture phase succeeded: promotes staging to the
+  /// committed checkpoint and frees the superseded epoch's payloads.
+  /// Throws if staging is absent or incomplete (a failed capture phase was
+  /// never a commit candidate — call discard_staged() instead).
+  void commit();
+
+  /// Host-side: drops whatever a failed capture attempt staged. The
+  /// committed checkpoint is untouched. Safe to call with nothing staged.
+  void discard_staged();
+
+  [[nodiscard]] bool has_committed() const;
+  /// Epoch / capture-time machine width of the committed checkpoint.
+  [[nodiscard]] u64 epoch() const;
+  [[nodiscard]] int width() const;
+  /// Committed snapshot of @p rank (0 <= rank < width()).
+  [[nodiscard]] const RankCheckpoint& of(int rank) const;
+
+  /// Number of commit() promotions over the store's lifetime.
+  [[nodiscard]] i64 commits() const;
+  /// Serialized payload bytes held by the committed checkpoint (the live
+  /// memory cost; superseded epochs are freed on commit, which the GC test
+  /// asserts through this number).
+  [[nodiscard]] i64 committed_bytes() const;
+
+  [[nodiscard]] int max_nprocs() const { return max_nprocs_; }
+
+ private:
+  void deposit(RankCheckpoint&& ck);
+
+  int max_nprocs_;
+  mutable std::mutex mutex_;
+  std::vector<RankCheckpoint> staged_;     // [source rank]
+  std::vector<u8> staged_ok_;              // slot deposited this round
+  int staged_count_ = 0;
+  u64 staged_epoch_ = 0;
+  int staged_width_ = 0;
+  std::vector<RankCheckpoint> committed_;  // [source rank]
+  bool has_committed_ = false;
+  u64 committed_epoch_ = 0;
+  int committed_width_ = 0;
+  i64 commits_ = 0;
+};
+
+}  // namespace chaos::rt

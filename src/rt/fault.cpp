@@ -41,6 +41,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::Delay: return "delay";
     case FaultKind::AllocFail: return "alloc_fail";
     case FaultKind::Stall: return "stall";
+    case FaultKind::Permanent: return "permanent";
   }
   return "unknown_kind";
 }
@@ -97,7 +98,12 @@ void FaultPlan::on_visit(Machine& m, FaultSite site, int rank) {
   for (const FaultSpec& s : specs_) {
     if (s.site != site) continue;
     if (s.rank >= 0 && s.rank != rank) continue;
-    if (s.nth_visit != visit) continue;
+    // Transient kinds detonate on exactly the Nth visit; a Permanent fault
+    // keeps firing on every visit from the Nth onward — the rank is broken
+    // for good, so no amount of retrying can sneak a clean pass through.
+    const bool match = s.kind == FaultKind::Permanent ? visit >= s.nth_visit
+                                                      : visit == s.nth_visit;
+    if (!match) continue;
     fire(m, s, rank, visit);
   }
   if (t_alloc_fail_armed) {
@@ -115,11 +121,13 @@ void FaultPlan::fire(Machine& m, const FaultSpec& spec, int rank, u64 visit) {
   fired_.fetch_add(1, std::memory_order_relaxed);
   m.note_fault_injected();
   switch (spec.kind) {
-    case FaultKind::Throw: {
+    case FaultKind::Throw:
+    case FaultKind::Permanent: {
       std::ostringstream os;
-      os << "injected fault: throw at " << fault_site_name(spec.site)
-         << " on rank " << rank << " (visit " << visit << ")";
-      throw FaultInjected(os.str());
+      os << "injected fault: " << fault_kind_name(spec.kind) << " at "
+         << fault_site_name(spec.site) << " on rank " << rank << " (visit "
+         << visit << ")";
+      throw FaultInjected(os.str(), rank, static_cast<int>(spec.site));
     }
     case FaultKind::Delay: {
       f64 ms = spec.delay_ms;

@@ -42,13 +42,17 @@ enum class FaultKind : u8 {
   Delay,      ///< sleep wall-clock ms at the site, then continue
   AllocFail,  ///< fail the next allocation at the site (std::bad_alloc)
   Stall,      ///< never return: park until the machine is poisoned
+  Permanent,  ///< throw FaultInjected on EVERY visit from nth_visit onward —
+              ///< the rank is broken for good; retry cannot outrun it and a
+              ///< supervisor must escalate to chaos::PermanentFault
 };
-inline constexpr int kFaultKindCount = 4;
+inline constexpr int kFaultKindCount = 5;
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
 
 /// One armed fault: fire @p kind when @p rank makes its @p nth_visit-th
-/// visit to @p site. rank -1 arms every rank (each fires on its own Nth
-/// visit). delay_ms <= 0 asks Delay for a seeded duration in [0.5, 2) ms.
+/// visit to @p site (Permanent: every visit from the nth onward). rank -1
+/// arms every rank (each fires on its own Nth visit). delay_ms <= 0 asks
+/// Delay for a seeded duration in [0.5, 2) ms.
 struct FaultSpec {
   FaultSite site = FaultSite::BarrierArrive;
   FaultKind kind = FaultKind::Throw;

@@ -40,7 +40,8 @@ Machine::Machine(int nprocs, CostParams params)
       bb_(static_cast<std::size_t>(nprocs) * 2),
       rank_state_(static_cast<std::size_t>(nprocs)),
       stats_(static_cast<std::size_t>(nprocs)),
-      final_clock_us_(static_cast<std::size_t>(nprocs), 0.0) {
+      final_clock_us_(static_cast<std::size_t>(nprocs), 0.0),
+      active_nprocs_(nprocs) {
   CHAOS_CHECK(nprocs >= 1, "machine needs at least one process");
   mailboxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
@@ -97,11 +98,14 @@ void Machine::wait_epoch(std::atomic<u32>& epoch, u32 target, int rank,
         timing = true;
       } else if (std::chrono::duration<f64>(now - wait_start).count() >=
                  deadline) {
-        // Name the stragglers: every rank whose own pass counter has not
-        // reached this pass never arrived (arrivals bump the counter
-        // before folding, so waiting peers all read >= target).
+        // Name the stragglers: every ACTIVE rank whose own pass counter has
+        // not reached this pass never arrived (arrivals bump the counter
+        // before folding, so waiting peers all read >= target). Ranks
+        // beyond the shrunken view never run, so scanning them would
+        // accuse the already-declared-dead.
         std::vector<int> missing;
-        for (int r = 0; r < nprocs_; ++r) {
+        const int active = active_nprocs_.load(std::memory_order_relaxed);
+        for (int r = 0; r < active; ++r) {
           if (rank_state_[static_cast<std::size_t>(r)].barrier_epoch.load(
                   std::memory_order_relaxed) < target) {
             missing.push_back(r);
@@ -129,7 +133,11 @@ void Machine::wait_epoch(std::atomic<u32>& epoch, u32 target, int rank,
 
 f64 Machine::barrier_reduce_max(int rank, f64 value, f64 now_us) {
   inject_point(FaultSite::BarrierArrive, rank);
-  if (nprocs_ == 1) return value;
+  // The barrier spans the ACTIVE view: after a shrink only the survivors
+  // run, so they alone must arrive. Relaxed is safe — the value changes
+  // only between runs, ordered by the dispatch handshake.
+  const int active = active_nprocs_.load(std::memory_order_relaxed);
+  if (active == 1) return value;
   if (poisoned_.load(std::memory_order_acquire)) {
     throw MachinePoisoned("machine poisoned: a sibling rank threw");
   }
@@ -151,7 +159,7 @@ f64 Machine::barrier_reduce_max(int rank, f64 value, f64 now_us) {
   // Count myself in. acq_rel makes the chain of arrival RMWs a release
   // sequence: the last arriver's view includes every rank's pre-barrier
   // writes, and its release word hands that view to everyone.
-  if (cell.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == nprocs_) {
+  if (cell.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == active) {
     // Reset the cells for this parity's next user (pass n+2 — unreachable
     // until release n+1, hence until this release, has been observed).
     const u64 folded = cell.max_bits.exchange(0, std::memory_order_relaxed);
@@ -207,7 +215,13 @@ void Machine::worker_loop(int rank) {
       seen_generation = run_generation_;
       body = body_;
     }
-    execute(rank, *body);
+    // Ranks beyond the shrunken active view are declared dead: they wake
+    // with everyone (one pool condvar), skip the body, and report done.
+    // Keeping them in the dispatch handshake (rather than special-casing
+    // the wake) means shrink/restore never touches pool bookkeeping.
+    if (rank < active_nprocs_.load(std::memory_order_relaxed)) {
+      execute(rank, *body);
+    }
     {
       std::lock_guard lock(pool_mutex_);
       if (--running_ == 0) done_cv_.notify_all();
@@ -215,17 +229,25 @@ void Machine::worker_loop(int rank) {
   }
 }
 
-i64 Machine::recover() {
+RecoverReport Machine::recover_report() {
   // Workers are parked (the previous run's completion handshake went
   // through pool_mutex_), so plain writes here are ordered before their
   // next dispatch by the same mutex. Everything a failed run can leave
-  // dirty is reset: mailbox shards (counted — these are the undelivered
-  // in-flight messages), barrier pass counters and cells (a poisoned run
-  // abandons passes mid-fold), the sentinel-stamped release words, the
-  // blackboard bytes (a thrower may have deposited into a slot no one
-  // read), and the poison flag + stored first error.
-  i64 drained = 0;
-  for (auto& mb : mailboxes_) drained += mb->drain();
+  // dirty is reset: mailbox shards (counted per (dest, source) — these are
+  // the undelivered in-flight messages), barrier pass counters and cells
+  // (a poisoned run abandons passes mid-fold), the sentinel-stamped
+  // release words, the blackboard bytes (a thrower may have deposited into
+  // a slot no one read), and the poison flag + stored first error.
+  RecoverReport report;
+  std::vector<i64> per_source(static_cast<std::size_t>(nprocs_), 0);
+  for (int dest = 0; dest < nprocs_; ++dest) {
+    report.messages_drained +=
+        mailboxes_[static_cast<std::size_t>(dest)]->drain(per_source);
+    for (int src = 0; src < nprocs_; ++src) {
+      const i64 n = per_source[static_cast<std::size_t>(src)];
+      if (n > 0) report.dirty_shards.push_back({dest, src, n});
+    }
+  }
   for (auto& rs : rank_state_) {
     rs.barrier_epoch.store(0, std::memory_order_relaxed);
   }
@@ -243,7 +265,20 @@ i64 Machine::recover() {
     first_error_ = nullptr;
   }
   poisoned_.store(false, std::memory_order_relaxed);
-  return drained;
+  return report;
+}
+
+void Machine::shrink_to(int n) {
+  const int active = active_nprocs_.load(std::memory_order_relaxed);
+  CHAOS_CHECK(n >= 1 && n <= active,
+              "shrink_to: target width must be in [1, active_nprocs]");
+  if (n == active) return;
+  active_nprocs_.store(n, std::memory_order_relaxed);
+  shrink_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Machine::restore_full_width() {
+  active_nprocs_.store(nprocs_, std::memory_order_relaxed);
 }
 
 void Machine::reset_for_run() {
@@ -257,7 +292,9 @@ void Machine::reset_for_run() {
 
 void Machine::run(const std::function<void(Process&)>& body) {
   reset_for_run();
-  if (nprocs_ == 1) {
+  if (active_nprocs_.load(std::memory_order_relaxed) == 1) {
+    // Single active rank (P=1 machine, or a fleet shrunk to its last
+    // survivor): no dispatch, no worker wakeups — rank 0 runs inline.
     execute(0, body);
   } else {
     {

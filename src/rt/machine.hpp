@@ -37,6 +37,22 @@ namespace chaos::rt {
 
 class Process;
 
+/// One dirty mailbox shard found by Machine::recover_report: @p messages
+/// undelivered messages from @p source were still queued at @p dest when the
+/// failed run was cleaned up.
+struct ShardDrain {
+  int dest = -1;
+  int source = -1;
+  i64 messages = 0;
+};
+
+/// What Machine::recover_report swept up after a failed run. A clean run
+/// leaves dirty_shards empty; the table benches assert exactly that.
+struct RecoverReport {
+  i64 messages_drained = 0;        ///< total undelivered messages dropped
+  std::vector<ShardDrain> dirty_shards;  ///< every nonempty (dest, source)
+};
+
 /// Owns the shared state of one SPMD execution: the worker pool, mailboxes,
 /// the combining barrier, blackboard slots for collectives, and cost
 /// parameters. Reusable: run() may be called any number of times; stats,
@@ -71,9 +87,48 @@ class Machine {
   /// installed fault plan, the deadline, the monotonic counter, or the
   /// previous run's stats/clocks (still readable for post-mortem until the
   /// next run()).
-  i64 recover();
+  i64 recover() { return recover_report().messages_drained; }
+
+  /// As recover(), but returns the full per-shard breakdown: which
+  /// (destination, source) mailbox shards were dirty and how many messages
+  /// each held. recover()'s bare total silently hid the topology of a
+  /// failure — a supervisor deciding whether a rank is dead wants to know
+  /// WHO was mid-send to whom, and a clean-run bench wants to assert that
+  /// no shard at all was dirty, not just that the sum was zero.
+  RecoverReport recover_report();
 
   [[nodiscard]] int nprocs() const { return nprocs_; }
+
+  // --- graceful degradation: the shrunken active-rank view -----------------
+
+  /// Number of ranks the next run() will execute. Starts at nprocs() and is
+  /// narrowed by shrink_to() after a permanent rank failure; every Process
+  /// reports this as its nprocs(), so collectives, mailbox bounds checks,
+  /// and barrier arithmetic all operate on the dense surviving set
+  /// [0, active_nprocs) without reconstructing the machine.
+  [[nodiscard]] int active_nprocs() const {
+    return active_nprocs_.load(std::memory_order_relaxed);
+  }
+
+  /// Declares ranks [n, active_nprocs) dead: subsequent runs execute only
+  /// the n survivors (their worker threads stay parked; dispatch wakes them
+  /// and inactive ranks immediately report done). Callable only between
+  /// runs. Survivor state (mailboxes, blackboard, barrier cells) is indexed
+  /// by logical rank and the surviving set stays dense, so nothing is
+  /// reallocated. Does NOT touch the installed fault plan — a plan keyed to
+  /// the old logical rank numbering is the caller's to uninstall first (the
+  /// degrade drivers do exactly that on PermanentFault).
+  void shrink_to(int n);
+
+  /// Undoes every shrink: the next run executes all nprocs() ranks again.
+  /// For pooled machines that outlive one degraded pipeline.
+  void restore_full_width();
+
+  /// Machine-lifetime count of width-narrowing shrink_to() calls (never
+  /// reset by run()); the robustness footers report it.
+  [[nodiscard]] i64 shrink_count() const {
+    return shrink_count_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const CostParams& params() const { return params_; }
 
   /// Aggregated per-process statistics of the last run(), including the
@@ -246,6 +301,12 @@ class Machine {
   std::vector<RankState> rank_state_;        // [rank]
   std::vector<MessageStats> stats_;
   std::vector<f64> final_clock_us_;
+  /// The degradation view (relaxed: written only between runs from the host
+  /// thread; the run-dispatch pool_mutex_ handshake orders it against every
+  /// worker read, and atomicity keeps concurrent relaxed reads from
+  /// watchdog/timeout paths well-defined).
+  std::atomic<int> active_nprocs_;
+  std::atomic<i64> shrink_count_{0};
   std::atomic<u64> counter_{0};
   std::atomic<bool> poisoned_{false};
   std::atomic<FaultPlan*> fault_plan_{nullptr};
@@ -280,7 +341,10 @@ class Process {
       : machine_(&machine), rank_(rank) {}
 
   [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int nprocs() const { return machine_->nprocs(); }
+  /// The ACTIVE machine width: after a shrink this is the surviving count,
+  /// so every collective, send/recv bounds check, and distribution built
+  /// from this handle automatically spans only the dense surviving set.
+  [[nodiscard]] int nprocs() const { return machine_->active_nprocs(); }
   [[nodiscard]] bool is_root() const { return rank_ == 0; }
   [[nodiscard]] Machine& machine() { return *machine_; }
   [[nodiscard]] const CostParams& params() const { return machine_->params(); }

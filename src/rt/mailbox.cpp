@@ -116,14 +116,18 @@ void Mailbox::poison_wake() {
   }
 }
 
-i64 Mailbox::drain() {
+i64 Mailbox::drain(std::span<i64> per_source) {
+  CHAOS_CHECK(per_source.empty() || per_source.size() == slots_.size(),
+              "mailbox drain: per-source output has wrong slot count");
   i64 dropped = 0;
-  for (const auto& slot : slots_) {
-    std::lock_guard lock(slot->mutex);
-    for (const auto& [tag, q] : slot->queues) {
-      dropped += static_cast<i64>(q.size());
-    }
-    slot->queues.clear();
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    Slot& slot = *slots_[s];
+    std::lock_guard lock(slot.mutex);
+    i64 here = 0;
+    for (const auto& [tag, q] : slot.queues) here += static_cast<i64>(q.size());
+    slot.queues.clear();
+    if (!per_source.empty()) per_source[s] = here;
+    dropped += here;
   }
   return dropped;
 }

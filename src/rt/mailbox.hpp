@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "rt/types.hpp"
@@ -80,8 +81,12 @@ class Mailbox {
 
   /// Drops all queued messages, shard by shard, and returns how many were
   /// dropped — the count of undelivered in-flight messages a failed run
-  /// left behind. Machine::recover() sums this across ranks.
-  i64 drain();
+  /// left behind. Machine::recover() sums this across ranks. When
+  /// @p per_source is non-empty it must have one element per source slot
+  /// and receives each shard's individual drop count, so a supervisor can
+  /// report exactly WHICH sender/receiver pairs were mid-flight instead of
+  /// one opaque total (Machine::recover_report).
+  i64 drain(std::span<i64> per_source = {});
 
   /// Drops all queued messages (between two runs of a reused Machine).
   void clear() { (void)drain(); }

@@ -41,6 +41,15 @@ struct MessageStats {
   i64 faults_injected = 0;
   i64 timeouts = 0;
   i64 poisoned_waits = 0;
+  /// Degradation counters (DESIGN.md §13): partner-checkpoint captures made
+  /// by rt::CheckpointStore (and the serialized snapshot bytes shipped to
+  /// the buddy rank), plus segments adopted back — and their payload bytes —
+  /// by core::restore_shrunk after a permanent rank failure. All zero on a
+  /// healthy run; the table benches fold them into the robustness footer.
+  i64 checkpoint_captures = 0;
+  i64 checkpoint_bytes = 0;
+  i64 restored_segments = 0;
+  i64 restored_bytes = 0;
 
   void note_send(i64 bytes) {
     ++messages_sent;
@@ -53,6 +62,14 @@ struct MessageStats {
   void note_alltoallv(i64 bytes_off_process) {
     ++alltoallv_calls;
     alltoallv_bytes += bytes_off_process;
+  }
+  void note_checkpoint(i64 snapshot_bytes) {
+    ++checkpoint_captures;
+    checkpoint_bytes += snapshot_bytes;
+  }
+  void note_restore(i64 segments, i64 bytes) {
+    restored_segments += segments;
+    restored_bytes += bytes;
   }
 
   MessageStats& operator+=(const MessageStats& o) {
@@ -71,6 +88,10 @@ struct MessageStats {
     faults_injected += o.faults_injected;
     timeouts += o.timeouts;
     poisoned_waits += o.poisoned_waits;
+    checkpoint_captures += o.checkpoint_captures;
+    checkpoint_bytes += o.checkpoint_bytes;
+    restored_segments += o.restored_segments;
+    restored_bytes += o.restored_bytes;
     return *this;
   }
 };

@@ -56,11 +56,33 @@ class MachineTimeout : public ChaosError {
   f64 virtual_time_us = 0.0;       ///< waiter's virtual clock at the timeout
 };
 
-/// Thrown by an armed FaultPlan Throw fault at its injection site; tests use
-/// the distinct type to tell the injected failure from collateral poisoning.
+/// Thrown by an armed FaultPlan Throw/Permanent fault at its injection site;
+/// tests use the distinct type to tell the injected failure from collateral
+/// poisoning. Carries which rank detonated and at which site (numeric
+/// rt::FaultSite; -1 when unknown) so a supervisor that gives up can name
+/// the failed rank in its PermanentFault classification.
 class FaultInjected : public ChaosError {
  public:
-  using ChaosError::ChaosError;
+  explicit FaultInjected(const std::string& what, int rank = -1, int site = -1)
+      : ChaosError(what), rank(rank), site(site) {}
+
+  int rank = -1;  ///< logical rank that hit the armed site
+  int site = -1;  ///< numeric rt::FaultSite, -1 unknown
+};
+
+/// Thrown by core::Supervisor when a retryable failure survives the whole
+/// retry budget: the fault is reclassified from transient to permanent, the
+/// named rank is presumed dead, and the caller is expected to degrade —
+/// shrink the machine to the survivors and restore from the last partner
+/// checkpoint (DESIGN.md §13) — rather than retry again. Deliberately NOT
+/// rt::is_retryable: a nested supervisor must propagate it, not spin on it.
+class PermanentFault : public ChaosError {
+ public:
+  PermanentFault(const std::string& what, int rank, int site)
+      : ChaosError(what), rank(rank), site(site) {}
+
+  int rank = -1;  ///< presumed-dead logical rank, -1 if unattributable
+  int site = -1;  ///< numeric rt::FaultSite of the last failure, -1 unknown
 };
 
 namespace detail {

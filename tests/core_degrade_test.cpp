@@ -1,0 +1,226 @@
+// Shrink-remap recovery (DESIGN.md §13): after a permanent rank failure the
+// survivors restore every checkpointed array from the partner copies onto
+// the narrowed machine, bit-identically, under freshly minted incarnations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "core/degrade.hpp"
+#include "dist/darray.hpp"
+#include "rt/checkpoint.hpp"
+#include "rt/collectives.hpp"
+#include "rt/machine.hpp"
+
+namespace rt = chaos::rt;
+namespace dist = chaos::dist;
+namespace core = chaos::core;
+using chaos::f64;
+using chaos::i64;
+using chaos::u64;
+
+namespace {
+
+/// Deterministic fills keyed to the GLOBAL index: the restored image at any
+/// width must reproduce these bytes exactly, because restore only moves
+/// values — it never recomputes them.
+f64 fx(i64 g) { return static_cast<f64>(g) * 1.5 + 0.25; }
+i64 fi(i64 g) { return g * g - 3; }
+float fw(i64 g) { return static_cast<float>(g) * 0.5f; }
+
+struct Reference {
+  std::vector<f64> x;
+  std::vector<i64> idx;
+  std::vector<float> w;
+};
+
+/// Full-width phase: builds three arrays (two aligned on one irregular
+/// distribution, one on its own block distribution), captures a checkpoint
+/// at @p epoch, and returns the global reference image.
+Reference build_and_checkpoint(rt::Machine& machine, rt::CheckpointStore& store,
+                               i64 n, u64 epoch) {
+  Reference ref;
+  machine.run([&](rt::Process& p) {
+    // Scrambled irregular home for x/idx so the restore path must handle
+    // non-block ownership; w lives on plain block.
+    auto map_dist = dist::Distribution::block(p, n);
+    std::vector<i64> slice(
+        static_cast<std::size_t>(map_dist->my_local_size()));
+    for (std::size_t l = 0; l < slice.size(); ++l) {
+      const i64 g = map_dist->global_of(p.rank(), static_cast<i64>(l));
+      slice[l] = (g * 7 + 3) % p.nprocs();
+    }
+    auto dxy = dist::Distribution::irregular_from_map(p, slice, *map_dist, 16);
+    auto dw = dist::Distribution::block(p, n);
+
+    dist::DistributedArray<f64> x(p, dxy);
+    dist::DistributedArray<i64> idx(p, dxy);
+    dist::DistributedArray<float> w(p, dw);
+    x.fill_by_global(fx);
+    idx.fill_by_global(fi);
+    w.fill_by_global(fw);
+
+    const auto gxy = dxy->my_globals();
+    const auto gw = dw->my_globals();
+    const std::vector<rt::SegmentView> views = {
+        core::make_segment_view<f64>(0, x, gxy, /*nmod=*/7),
+        core::make_segment_view<i64>(1, idx, gxy, /*nmod=*/8),
+        core::make_segment_view<float>(2, w, gw, /*nmod=*/9),
+    };
+    store.capture(p, epoch, views);
+
+    const auto ax = x.to_global(p);
+    const auto ai = idx.to_global(p);
+    const auto aw = w.to_global(p);
+    if (p.rank() == 0) {
+      ref.x = ax;
+      ref.idx = ai;
+      ref.w = aw;
+    }
+  });
+  store.commit();
+  return ref;
+}
+
+/// Shrunken-width phase: restores from @p store under @p map, materializes
+/// the typed arrays, and returns the reassembled global image.
+Reference restore_and_gather(rt::Machine& machine,
+                             const rt::CheckpointStore& store,
+                             const core::ShrinkMap& map) {
+  Reference got;
+  machine.run([&](rt::Process& p) {
+    const auto segs = core::restore_shrunk(p, store, map, /*page_size=*/16);
+    ASSERT_EQ(segs.size(), 3u);
+    EXPECT_EQ(segs[0].array_id, 0u);
+    EXPECT_EQ(segs[0].nmod, 7u);
+    EXPECT_EQ(segs[1].nmod, 8u);
+    EXPECT_EQ(segs[2].nmod, 9u);
+    // Aligned arrays come back aligned: one fresh distribution, one fresh
+    // incarnation, shared by both — and distinct from the dead-width one.
+    EXPECT_EQ(segs[0].dist.get(), segs[1].dist.get());
+    EXPECT_NE(segs[0].dist->dad().incarnation, segs[0].old_incarnation);
+    EXPECT_NE(segs[2].dist->dad().incarnation, segs[2].old_incarnation);
+
+    auto x = core::restored_array<f64>(p, segs[0]);
+    auto idx = core::restored_array<i64>(p, segs[1]);
+    auto w = core::restored_array<float>(p, segs[2]);
+    const auto ax = x.to_global(p);
+    const auto ai = idx.to_global(p);
+    const auto aw = w.to_global(p);
+    if (p.rank() == 0) {
+      got.x = ax;
+      got.idx = ai;
+      got.w = aw;
+    }
+    // Restore tallies its modeled charge (bytes may be zero on a rank that
+    // ends up owning nothing — the machine-wide check is below).
+    EXPECT_GT(p.stats().restored_segments, 0);
+  });
+  EXPECT_GT(machine.total_stats().restored_bytes, 0);
+  return got;
+}
+
+void expect_bit_identical(const Reference& a, const Reference& b) {
+  ASSERT_EQ(a.x.size(), b.x.size());
+  ASSERT_EQ(a.idx.size(), b.idx.size());
+  ASSERT_EQ(a.w.size(), b.w.size());
+  EXPECT_EQ(std::memcmp(a.x.data(), b.x.data(), a.x.size() * sizeof(f64)), 0);
+  EXPECT_EQ(
+      std::memcmp(a.idx.data(), b.idx.data(), a.idx.size() * sizeof(i64)), 0);
+  EXPECT_EQ(
+      std::memcmp(a.w.data(), b.w.data(), a.w.size() * sizeof(float)), 0);
+}
+
+}  // namespace
+
+TEST(Degrade, SingleKillRestoresBitIdenticallyAtEveryDeadRank) {
+  // Rank 0, a middle rank, and rank P-1 (whose buddy wraps to rank 0).
+  for (const int dead : {0, 3, 7}) {
+    rt::Machine machine(8);
+    rt::CheckpointStore store(8);
+    const Reference ref = build_and_checkpoint(machine, store, /*n=*/64,
+                                               /*epoch=*/1);
+
+    machine.shrink_to(7);
+    const core::ShrinkMap map{.old_nprocs = 8, .dead_rank = dead};
+    EXPECT_EQ(map.new_of(dead), -1);
+    EXPECT_EQ(map.old_of(map.new_of(map.buddy_old_rank())),
+              map.buddy_old_rank());
+    const Reference got = restore_and_gather(machine, store, map);
+    expect_bit_identical(ref, got);
+  }
+}
+
+TEST(Degrade, DoubleKillSurvivesEightToSevenToSix) {
+  rt::Machine machine(8);
+  rt::CheckpointStore store(8);
+  const Reference ref = build_and_checkpoint(machine, store, /*n=*/48,
+                                             /*epoch=*/1);
+
+  // First failure: old rank 5 dies.
+  machine.shrink_to(7);
+  const core::ShrinkMap first{.old_nprocs = 8, .dead_rank = 5};
+  Reference mid;
+  machine.run([&](rt::Process& p) {
+    const auto segs = core::restore_shrunk(p, store, first, /*page_size=*/16);
+    auto x = core::restored_array<f64>(p, segs[0]);
+    auto idx = core::restored_array<i64>(p, segs[1]);
+    auto w = core::restored_array<float>(p, segs[2]);
+    // Re-checkpoint at the NEW width before resuming — the second failure
+    // must restore from a width-7 checkpoint, not the stale width-8 one.
+    const auto gxy = x.dist().my_globals();
+    const auto gw = w.dist().my_globals();
+    const std::vector<rt::SegmentView> views = {
+        core::make_segment_view<f64>(0, x, gxy, 7),
+        core::make_segment_view<i64>(1, idx, gxy, 8),
+        core::make_segment_view<float>(2, w, gw, 9),
+    };
+    store.capture(p, /*epoch=*/2, views);
+    const auto ax = x.to_global(p);
+    const auto ai = idx.to_global(p);
+    const auto aw = w.to_global(p);
+    if (p.rank() == 0) mid = {ax, ai, aw};
+  });
+  store.commit();
+  EXPECT_EQ(store.width(), 7);
+  EXPECT_EQ(store.epoch(), 2u);
+  expect_bit_identical(ref, mid);
+
+  // Second failure: width-7 rank 2 dies.
+  machine.shrink_to(6);
+  const core::ShrinkMap second{.old_nprocs = 7, .dead_rank = 2};
+  const Reference got = restore_and_gather(machine, store, second);
+  expect_bit_identical(ref, got);
+  EXPECT_EQ(machine.shrink_count(), 2);
+}
+
+TEST(Degrade, RanksThatOwnNothingStillParticipate) {
+  // N < P: block gives ranks 5..7 empty slices. Kill an empty rank and a
+  // loaded one; both restores must reproduce the reference.
+  for (const int dead : {6, 2}) {
+    rt::Machine machine(8);
+    rt::CheckpointStore store(8);
+    const Reference ref = build_and_checkpoint(machine, store, /*n=*/5,
+                                               /*epoch=*/1);
+    machine.shrink_to(7);
+    const core::ShrinkMap map{.old_nprocs = 8, .dead_rank = dead};
+    const Reference got = restore_and_gather(machine, store, map);
+    expect_bit_identical(ref, got);
+    machine.restore_full_width();
+  }
+}
+
+TEST(Degrade, TwoToOneCollapseRunsInline) {
+  rt::Machine machine(2);
+  rt::CheckpointStore store(2);
+  const Reference ref = build_and_checkpoint(machine, store, /*n=*/12,
+                                             /*epoch=*/1);
+  machine.shrink_to(1);
+  const core::ShrinkMap map{.old_nprocs = 2, .dead_rank = 0};
+  EXPECT_EQ(map.buddy_old_rank(), 1);  // the lone survivor holds the copy
+  const Reference got = restore_and_gather(machine, store, map);
+  expect_bit_identical(ref, got);
+  // Everything now lives on the one survivor.
+  machine.run([&](rt::Process& p) { EXPECT_EQ(p.nprocs(), 1); });
+}

@@ -141,31 +141,48 @@ TEST(Supervisor, RetriesTransientFaultAndRecovers) {
   EXPECT_GT(sup.stats().backoff_wall_ms, 0.0);
 }
 
-TEST(Supervisor, ExhaustsAttemptsThenRethrowsOnARecoveredMachine) {
+TEST(Supervisor, ExhaustsAttemptsThenEscalatesToPermanentFault) {
   rt::Machine machine(4);
   rt::FaultPlan plan(4);
   // One spec per attempt: visit counters are cumulative across runs, so
-  // visits 1, 2, 3 of rank 1 fail attempts 1, 2, 3 respectively.
+  // visits 1, 2, 3 of rank 1 fail attempts 1, 2, 3 respectively. Exhausting
+  // the budget must NOT rethrow the bare FaultInjected — the supervisor
+  // reclassifies the fault as permanent and names the dead rank + site so
+  // the caller can degrade (DESIGN.md §13).
   for (u64 visit = 1; visit <= 3; ++visit) {
     plan.add({rt::FaultSite::BarrierArrive, rt::FaultKind::Throw, /*rank=*/1,
               visit});
   }
   machine.install_fault_plan(&plan);
   core::Supervisor sup(machine, kFastRetry);
-  EXPECT_THROW(
-      sup.run_phase("phase", [](rt::Process& p) { rt::barrier(p); }),
-      chaos::FaultInjected);
+  bool escalated = false;
+  try {
+    sup.run_phase("phase", [](rt::Process& p) { rt::barrier(p); });
+  } catch (const chaos::PermanentFault& pf) {
+    escalated = true;
+    EXPECT_EQ(pf.rank, 1);
+    EXPECT_EQ(pf.site, static_cast<int>(rt::FaultSite::BarrierArrive));
+    EXPECT_NE(std::string(pf.what()).find("phase"), std::string::npos);
+  }
+  EXPECT_TRUE(escalated);
   machine.install_fault_plan(nullptr);
   EXPECT_EQ(sup.stats().attempts, 3);
   EXPECT_EQ(sup.stats().retries, 2);
   EXPECT_EQ(sup.stats().gave_up, 1);
   EXPECT_EQ(sup.stats().phases, 0);
   EXPECT_EQ(sup.stats().recoveries, 0);
-  // The rethrow path recovers too: the caller keeps a clean machine.
+  // The escalation path recovers too: the caller keeps a clean machine.
   EXPECT_FALSE(machine.is_poisoned());
   machine.run([](rt::Process& p) {
     EXPECT_EQ(rt::allreduce_sum(p, i64{p.rank() + 1}), 10);
   });
+}
+
+TEST(Supervisor, PermanentFaultIsNotRetryableByANestedSupervisor) {
+  // The escalation must not loop: a PermanentFault caught by an outer
+  // supervision layer classifies as fatal, not transient.
+  EXPECT_FALSE(rt::is_retryable(
+      capture([] { return chaos::PermanentFault("dead", 3, 0); })));
 }
 
 TEST(Supervisor, FatalErrorsAreNotRetried) {
@@ -207,6 +224,13 @@ TEST(Supervisor, DrainsInFlightMessagesOfTheFailedAttempt) {
   machine.install_fault_plan(nullptr);
   EXPECT_EQ(sup.stats().retries, 1);
   EXPECT_EQ(sup.stats().messages_drained, 2);
+  // The per-shard breakdown names exactly WHICH pair was mid-flight: both
+  // undelivered messages sat in rank 0's mailbox shard for source rank 1.
+  EXPECT_EQ(sup.stats().dirty_shards, 1);
+  ASSERT_EQ(sup.last_dirty_shards().size(), 1u);
+  EXPECT_EQ(sup.last_dirty_shards()[0].dest, 0);
+  EXPECT_EQ(sup.last_dirty_shards()[0].source, 1);
+  EXPECT_EQ(sup.last_dirty_shards()[0].messages, 2);
 }
 
 TEST(Supervisor, ThrowWithArmedAllocFailRetriesExactlyOnce) {

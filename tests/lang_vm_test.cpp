@@ -416,3 +416,60 @@ C$    ALIGN x, y, ia WITH reg
     }
   });
 }
+
+TEST(LangVm, RidesTheShrunkenMachineUntouched) {
+  // Degradation contract (DESIGN.md §13): after the machine narrows around a
+  // dead rank, a fresh per-rank Instance of the same Program just runs — the
+  // VM never caches the machine width, and every distribution, plan, and
+  // translation it builds is minted at the width it executes at. The gather
+  // uses exactly representable values (halves), so the fetched images must
+  // be bit-identical across widths.
+  constexpr i64 n = 24;
+  Scenario sc;
+  sc.source = R"(
+      REAL*8 x(n), y(n)
+      INTEGER ia(n), ib(n)
+C$    DECOMPOSITION reg(n)
+C$    DISTRIBUTE reg(BLOCK)
+C$    ALIGN x, y, ia, ib WITH reg
+      FORALL i = 1, n
+        y(ia(i)) = 2.0 * x(ib(i)) + 1.0
+      END FORALL
+)";
+  sc.params["N"] = n;
+  std::vector<f64> x0(n);
+  std::vector<i64> ia(n), ib(n);
+  for (i64 i = 0; i < n; ++i) {
+    x0[static_cast<std::size_t>(i)] = 0.5 * static_cast<f64>(i);
+    ia[static_cast<std::size_t>(i)] = (i * 7 + 3) % n + 1;
+    ib[static_cast<std::size_t>(i)] = (i * 5 + 1) % n + 1;
+  }
+  sc.reals["X"] = x0;
+  sc.ints["IA"] = ia;
+  sc.ints["IB"] = ib;
+  sc.fetch = {"Y"};
+
+  const auto prog = lang::compile(sc.source);
+  rt::Machine machine(6);
+  auto fetch_y = [&]() {
+    std::vector<f64> y;
+    machine.run([&](rt::Process& p) {
+      lang::Instance inst(prog);
+      for (const auto& [name, v] : sc.params) inst.set_param(name, v);
+      for (const auto& [name, v] : sc.reals) inst.bind_real(name, v);
+      for (const auto& [name, v] : sc.ints) inst.bind_int(name, v);
+      inst.execute(p);
+      auto v = inst.fetch_real(p, "Y");
+      if (p.rank() == 0) y = std::move(v);
+    });
+    return y;
+  };
+
+  const std::vector<f64> full = fetch_y();
+  machine.shrink_to(4);  // two ranks died; survivors carry on
+  const std::vector<f64> degraded = fetch_y();
+  EXPECT_EQ(full, degraded);
+  machine.shrink_to(1);  // total collapse still executes (inline)
+  const std::vector<f64> solo = fetch_y();
+  EXPECT_EQ(full, solo);
+}

@@ -1,0 +1,236 @@
+// Unit tests for the partner checkpoint store: round-trip bit-identity,
+// partner placement across machine widths, epoch GC on commit, and the
+// two-phase staging contract (a failed capture never corrupts the committed
+// checkpoint).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "rt/checkpoint.hpp"
+#include "rt/fault.hpp"
+#include "rt/machine.hpp"
+
+namespace rt = chaos::rt;
+using chaos::i64;
+using chaos::u64;
+
+namespace {
+
+/// One synthetic segment per rank: rank-dependent globals and raw byte
+/// patterns (including NaN payloads when viewed as doubles) so bit-identity
+/// is meaningful.
+struct TestSegment {
+  std::vector<i64> globals;
+  std::vector<std::byte> values;
+};
+
+TestSegment make_segment(int rank, i64 elem_size, u64 salt) {
+  TestSegment s;
+  const i64 n = 3 + rank;  // deliberately uneven across ranks
+  s.globals.resize(static_cast<std::size_t>(n));
+  s.values.resize(static_cast<std::size_t>(n * elem_size));
+  for (i64 i = 0; i < n; ++i) {
+    s.globals[static_cast<std::size_t>(i)] = rank * 100 + i;
+    for (i64 b = 0; b < elem_size; ++b) {
+      s.values[static_cast<std::size_t>(i * elem_size + b)] =
+          static_cast<std::byte>((salt * 131 + static_cast<u64>(rank) * 31 +
+                                  static_cast<u64>(i * elem_size + b) * 7) &
+                                 0xff);
+    }
+  }
+  return s;
+}
+
+rt::SegmentView view_of(u64 id, u64 inc, u64 nmod, i64 global_size,
+                        i64 elem_size, const TestSegment& s) {
+  rt::SegmentView v;
+  v.array_id = id;
+  v.incarnation = inc;
+  v.nmod = nmod;
+  v.global_size = global_size;
+  v.elem_size = elem_size;
+  v.globals = s.globals;
+  v.values = s.values;
+  return v;
+}
+
+}  // namespace
+
+TEST(Checkpoint, RoundTripsEverySegmentBitIdentically) {
+  constexpr int kP = 4;
+  rt::Machine machine(kP);
+  rt::CheckpointStore store(kP);
+
+  // Two segments per rank, different element widths; seg 1 carries bytes
+  // that are NaN when reinterpreted as f64 — round-trip must not care.
+  std::vector<std::vector<TestSegment>> segs(kP);
+  for (int r = 0; r < kP; ++r) {
+    segs[static_cast<std::size_t>(r)].push_back(make_segment(r, 8, 1));
+    auto nan_seg = make_segment(r, 8, 2);
+    const double qnan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(nan_seg.values.data(), &qnan, sizeof(qnan));
+    segs[static_cast<std::size_t>(r)].push_back(std::move(nan_seg));
+    segs[static_cast<std::size_t>(r)].push_back(make_segment(r, 4, 3));
+  }
+
+  machine.run([&](rt::Process& p) {
+    const auto& mine = segs[static_cast<std::size_t>(p.rank())];
+    const std::vector<rt::SegmentView> views = {
+        view_of(0, 11, 5, 1000, 8, mine[0]),
+        view_of(1, 11, 6, 1000, 8, mine[1]),
+        view_of(2, 12, 7, 500, 4, mine[2]),
+    };
+    store.capture(p, 42, views);
+  });
+  store.commit();
+
+  ASSERT_TRUE(store.has_committed());
+  EXPECT_EQ(store.epoch(), 42u);
+  EXPECT_EQ(store.width(), kP);
+  EXPECT_EQ(store.commits(), 1);
+  for (int r = 0; r < kP; ++r) {
+    const rt::RankCheckpoint& ck = store.of(r);
+    EXPECT_EQ(ck.rank, r);
+    EXPECT_EQ(ck.epoch, 42u);
+    EXPECT_EQ(ck.width, kP);
+    ASSERT_EQ(ck.segments.size(), 3u);
+    const auto& orig = segs[static_cast<std::size_t>(r)];
+    for (std::size_t j = 0; j < 3; ++j) {
+      const rt::SegmentSnapshot& got = ck.segments[j];
+      EXPECT_EQ(got.array_id, j);
+      EXPECT_EQ(got.incarnation, j < 2 ? 11u : 12u);
+      EXPECT_EQ(got.nmod, 5 + j);
+      EXPECT_EQ(got.global_size, j < 2 ? 1000 : 500);
+      EXPECT_EQ(got.elem_size, j < 2 ? 8 : 4);
+      EXPECT_EQ(got.globals, orig[j].globals);
+      ASSERT_EQ(got.values.size(), orig[j].values.size());
+      EXPECT_EQ(std::memcmp(got.values.data(), orig[j].values.data(),
+                            got.values.size()),
+                0);  // bit identity, NaN payloads included
+    }
+  }
+}
+
+TEST(Checkpoint, PartnerPlacementChargesEveryWidth) {
+  for (int P = 2; P <= 8; ++P) {
+    rt::Machine machine(P);
+    rt::CheckpointStore store(P);
+    std::vector<TestSegment> segs;
+    for (int r = 0; r < P; ++r) segs.push_back(make_segment(r, 8, 9));
+
+    machine.run([&](rt::Process& p) {
+      // The buddy relation is a P-cycle: distinct from self for all P >= 2,
+      // so any single dead rank's snapshot survives on a different rank.
+      const int buddy = rt::CheckpointStore::partner_of(p.rank(), P);
+      EXPECT_NE(buddy, p.rank());
+      EXPECT_EQ(rt::CheckpointStore::partner_of(P - 1, P), 0);  // wraps
+      const std::vector<rt::SegmentView> views = {view_of(
+          0, 1, 0, 100, 8, segs[static_cast<std::size_t>(p.rank())])};
+      store.capture(p, 1, views);
+    });
+    store.commit();
+
+    // Every rank's snapshot is intact and attributed to its source rank,
+    // and every rank paid a modeled checkpoint charge for shipping its
+    // blob to the buddy.
+    for (int r = 0; r < P; ++r) {
+      EXPECT_EQ(store.of(r).rank, r);
+      EXPECT_EQ(store.of(r).segments[0].globals,
+                segs[static_cast<std::size_t>(r)].globals);
+      EXPECT_EQ(machine.stats_of(r).checkpoint_captures, 1);
+      EXPECT_GT(machine.stats_of(r).checkpoint_bytes, 0);
+    }
+    EXPECT_EQ(machine.total_stats().checkpoint_captures, P);
+  }
+}
+
+TEST(Checkpoint, CommitFreesTheSupersededEpoch) {
+  constexpr int kP = 2;
+  rt::Machine machine(kP);
+  rt::CheckpointStore store(kP);
+
+  auto capture_epoch = [&](u64 epoch, i64 scale) {
+    std::vector<std::vector<TestSegment>> segs(kP);
+    machine.run([&](rt::Process& p) {
+      auto& s = segs[static_cast<std::size_t>(p.rank())];
+      s.push_back(make_segment(p.rank(), 8, epoch));
+      // Grow the payload with `scale` so the byte accounting below can tell
+      // the epochs apart.
+      s.back().globals.resize(static_cast<std::size_t>(scale), 7);
+      s.back().values.resize(static_cast<std::size_t>(scale * 8),
+                             std::byte{0x5a});
+      const std::vector<rt::SegmentView> views = {
+          view_of(0, 1, 0, 100, 8, s.back())};
+      store.capture(p, epoch, views);
+    });
+    store.commit();
+  };
+
+  capture_epoch(1, 64);
+  ASSERT_TRUE(store.has_committed());
+  const i64 bytes_e1 = store.committed_bytes();
+  EXPECT_GT(bytes_e1, 0);
+
+  capture_epoch(5, 8);
+  EXPECT_EQ(store.epoch(), 5u);   // latest epoch wins
+  EXPECT_EQ(store.commits(), 2);
+  // The superseded epoch's payload was freed on commit: the store now holds
+  // only the (much smaller) epoch-5 snapshot.
+  EXPECT_LT(store.committed_bytes(), bytes_e1);
+  for (int r = 0; r < kP; ++r) EXPECT_EQ(store.of(r).epoch, 5u);
+}
+
+TEST(Checkpoint, FailedCaptureLeavesTheCommittedCheckpointIntact) {
+  constexpr int kP = 2;
+  rt::Machine machine(kP);
+  rt::CheckpointStore store(kP);
+  std::vector<TestSegment> segs;
+  for (int r = 0; r < kP; ++r) segs.push_back(make_segment(r, 8, 4));
+
+  machine.run([&](rt::Process& p) {
+    const std::vector<rt::SegmentView> views = {
+        view_of(0, 1, 3, 100, 8, segs[static_cast<std::size_t>(p.rank())])};
+    store.capture(p, 10, views);
+  });
+  store.commit();
+  ASSERT_TRUE(store.has_committed());
+
+  // Detonate the next capture inside the partner exchange.
+  rt::FaultPlan plan(kP);
+  plan.add({rt::FaultSite::AlltoallvFlat, rt::FaultKind::Throw,
+            /*rank=*/1, /*nth_visit=*/1});
+  machine.install_fault_plan(&plan);
+  EXPECT_THROW(machine.run([&](rt::Process& p) {
+                 const std::vector<rt::SegmentView> views = {view_of(
+                     0, 1, 4, 100, 8,
+                     segs[static_cast<std::size_t>(p.rank())])};
+                 store.capture(p, 11, views);
+               }),
+               chaos::FaultInjected);
+  machine.install_fault_plan(nullptr);
+  machine.recover();
+  store.discard_staged();
+
+  // A failed capture was never a commit candidate: epoch 10 survives whole.
+  EXPECT_EQ(store.epoch(), 10u);
+  EXPECT_EQ(store.commits(), 1);
+  for (int r = 0; r < kP; ++r) {
+    EXPECT_EQ(store.of(r).epoch, 10u);
+    EXPECT_EQ(store.of(r).segments[0].nmod, 3u);
+  }
+  // Commit with nothing staged must refuse rather than promote garbage.
+  EXPECT_THROW(store.commit(), chaos::ChaosError);
+
+  // The store still works: the retried capture commits normally.
+  machine.run([&](rt::Process& p) {
+    const std::vector<rt::SegmentView> views = {
+        view_of(0, 1, 4, 100, 8, segs[static_cast<std::size_t>(p.rank())])};
+    store.capture(p, 11, views);
+  });
+  store.commit();
+  EXPECT_EQ(store.epoch(), 11u);
+  EXPECT_EQ(store.commits(), 2);
+}

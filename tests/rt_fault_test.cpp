@@ -186,11 +186,12 @@ constexpr rt::FaultKind kKinds[] = {
     rt::FaultKind::Delay,
     rt::FaultKind::AllocFail,
     rt::FaultKind::Stall,
+    rt::FaultKind::Permanent,
 };
 
 }  // namespace
 
-// The tentpole sweep: every site x kind x victim rank. 96 independent runs;
+// The tentpole sweep: every site x kind x victim rank. 120 independent runs;
 // each must terminate with the expected per-rank outcome vector.
 TEST(FaultSweep, EverySiteKindRankTerminatesWithTypedErrors) {
   // Long enough to never fire spuriously on a loaded/sanitized host, short
@@ -226,7 +227,9 @@ TEST(FaultSweep, EverySiteKindRankTerminatesWithTypedErrors) {
         // outcome store never ran).
         EXPECT_TRUE(res.run_threw);
         const Outcome expected_victim =
-            kind == rt::FaultKind::Throw     ? Outcome::kInjected
+            kind == rt::FaultKind::Throw ||
+                    kind == rt::FaultKind::Permanent
+                ? Outcome::kInjected
             : kind == rt::FaultKind::AllocFail ? Outcome::kAllocFailed
                                                : Outcome::kPoisoned;
         EXPECT_EQ(res.per_rank[static_cast<std::size_t>(victim)],
@@ -249,6 +252,40 @@ TEST(FaultSweep, EverySiteKindRankTerminatesWithTypedErrors) {
       }
     }
   }
+}
+
+TEST(FaultPlan, PermanentFiresOnEveryVisitFromTheNthOnward) {
+  // The kind that models an unrecoverable rank: unlike Throw (exactly the
+  // Nth visit), Permanent keeps detonating on every later visit too, so a
+  // supervisor's retries can never sneak a clean pass through. Visit
+  // counters are cumulative across runs: with nth_visit=2, run 1 survives
+  // visit 1 and dies at visit 2; every subsequent run dies at its first
+  // visit. A Throw spec would let runs 2 and 3 complete.
+  rt::Machine machine(2);
+  rt::FaultPlan plan(2);
+  plan.add({rt::FaultSite::BarrierArrive, rt::FaultKind::Permanent,
+            /*rank=*/1, /*nth_visit=*/2});
+  machine.install_fault_plan(&plan);
+  for (int run = 0; run < 3; ++run) {
+    bool injected = false;
+    try {
+      machine.run([](rt::Process& p) {
+        rt::barrier(p);
+        rt::barrier(p);
+        rt::barrier(p);
+      });
+    } catch (const chaos::FaultInjected& f) {
+      injected = true;
+      EXPECT_EQ(f.rank, 1);
+      EXPECT_EQ(f.site, static_cast<int>(rt::FaultSite::BarrierArrive));
+    }
+    EXPECT_TRUE(injected) << "run " << run << " should have been killed";
+    (void)machine.recover();
+  }
+  EXPECT_EQ(plan.fired(), 3);
+  machine.install_fault_plan(nullptr);
+  EXPECT_EQ(std::string(rt::fault_kind_name(rt::FaultKind::Permanent)),
+            "permanent");
 }
 
 TEST(FaultPlan, VisitCountersAreDeterministicAcrossRuns) {

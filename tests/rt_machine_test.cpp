@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "rt/collectives.hpp"
@@ -349,5 +350,67 @@ TEST(Machine, RecoverOnACleanMachineIsANoOp) {
   EXPECT_EQ(machine.recover(), 0);  // every message was consumed
   machine.run([](rt::Process& p) {
     EXPECT_EQ(rt::allreduce_sum(p, i64{1}), 3);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Shrunken active-rank view (graceful degradation)
+// ---------------------------------------------------------------------------
+
+TEST(Machine, ShrinkNarrowsBarrierAndCollectivesToTheSurvivors) {
+  rt::Machine machine(8);
+  machine.run([](rt::Process& p) { EXPECT_EQ(p.nprocs(), 8); });
+
+  machine.shrink_to(5);
+  EXPECT_EQ(machine.active_nprocs(), 5);
+  EXPECT_EQ(machine.shrink_count(), 1);
+  machine.run([](rt::Process& p) {
+    EXPECT_EQ(p.nprocs(), 5);
+    EXPECT_LT(p.rank(), 5);
+    // Barrier, reduction, and alltoallv all span exactly the survivors.
+    EXPECT_EQ(rt::allreduce_sum(p, i64{p.rank()}), 10);
+    std::vector<std::vector<i64>> out(5);
+    for (int d = 0; d < 5; ++d) out[static_cast<std::size_t>(d)] = {i64{p.rank()}};
+    const auto in = rt::alltoallv<i64>(p, out);
+    ASSERT_EQ(in.size(), 5u);
+    for (int s = 0; s < 5; ++s) {
+      ASSERT_EQ(in[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_EQ(in[static_cast<std::size_t>(s)][0], s);
+    }
+  });
+  EXPECT_EQ(machine.recover(), 0);  // parked ranks sent nothing
+
+  machine.restore_full_width();
+  EXPECT_EQ(machine.active_nprocs(), 8);
+  EXPECT_EQ(machine.shrink_count(), 1);  // restore is not a shrink
+  machine.run([](rt::Process& p) {
+    EXPECT_EQ(p.nprocs(), 8);
+    EXPECT_EQ(rt::allreduce_sum(p, i64{1}), 8);
+  });
+}
+
+TEST(Machine, ShrinkToOneRunsInlineOnTheCaller) {
+  rt::Machine machine(4);
+  machine.shrink_to(1);
+  const auto caller = std::this_thread::get_id();
+  machine.run([&](rt::Process& p) {
+    EXPECT_EQ(p.nprocs(), 1);
+    EXPECT_EQ(p.rank(), 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(rt::allreduce_sum(p, i64{7}), 7);
+  });
+  machine.restore_full_width();
+  machine.run([](rt::Process& p) { EXPECT_EQ(p.nprocs(), 4); });
+}
+
+TEST(Machine, RepeatedShrinksCountAndStack) {
+  rt::Machine machine(8);
+  machine.shrink_to(7);
+  machine.shrink_to(6);
+  machine.shrink_to(6);  // no-op: already at the requested width
+  EXPECT_EQ(machine.active_nprocs(), 6);
+  EXPECT_EQ(machine.shrink_count(), 2);
+  machine.run([](rt::Process& p) {
+    EXPECT_EQ(rt::allreduce_sum(p, i64{1}), 6);
   });
 }
