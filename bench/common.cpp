@@ -137,13 +137,14 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
     // probes it; it binds to data_dist's DAD on the first localize and stays
     // warm across the no-reuse rebuilds — exactly the CHAOS software-caching
     // configuration the flag exists to quantify.
+    core::PlanOptions opts = cfg.effective_plan();
     std::unique_ptr<dist::TranslationCache> tcache;
-    core::EdgeLoopPlan plan;
-    plan.iws.set_flat_locate(cfg.flat_locate);
-    if (cfg.translation_cache) {
+    if (opts.translation_cache == nullptr && cfg.translation_cache) {
       tcache = std::make_unique<dist::TranslationCache>(1 << 18);
-      plan.iws.attach_cache(tcache.get());
+      opts.translation_cache = tcache.get();
     }
+    core::EdgeLoopPlan plan;
+    plan.iws.configure(opts);
     auto build_plan = [&] {
       plan.build.begin_build();
       {
@@ -213,6 +214,8 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
   result.restored_segments = totals.restored_segments;
   result.restored_bytes = totals.restored_bytes;
   result.shrinks = machine.shrink_count();
+  result.schedule_repairs = totals.schedule_repairs;
+  result.repair_fallbacks = totals.repair_fallbacks;
   // A clean run must leave every mailbox shard empty: a nonzero per-shard
   // breakdown here means a phase leaked messages it claims it consumed (the
   // recover() footgun, DESIGN.md §12). recover_report() on a clean machine
@@ -221,6 +224,10 @@ PhaseResult run_hand_pipeline(int procs, const Workload& w,
     const rt::RecoverReport post = machine.recover_report();
     CHAOS_CHECK(post.dirty_shards.empty(),
                 "clean bench run left messages in mailbox shards");
+    // This pipeline never mutates an indirection array after inspection, so
+    // the repair path must never fire (DESIGN.md §14).
+    CHAOS_CHECK(totals.schedule_repairs == 0 && totals.repair_fallbacks == 0,
+                "non-adaptive bench run triggered schedule repair");
   }
 
   result.wall_seconds =
@@ -294,7 +301,7 @@ PhaseResult run_compiler_pipeline(int procs, const Workload& w,
       inst.bind_real("ZC", w.cz);
     }
     inst.set_schedule_reuse(cfg.schedule_reuse);
-    inst.set_flat_locate(cfg.flat_locate);
+    inst.set_options(cfg.effective_plan());
     inst.execute(p);
 
     const auto& ph = inst.phases();
@@ -325,6 +332,8 @@ PhaseResult run_compiler_pipeline(int procs, const Workload& w,
   result.restored_segments = totals.restored_segments;
   result.restored_bytes = totals.restored_bytes;
   result.shrinks = machine.shrink_count();
+  result.schedule_repairs = totals.schedule_repairs;
+  result.repair_fallbacks = totals.repair_fallbacks;
   // A clean run must leave every mailbox shard empty: a nonzero per-shard
   // breakdown here means a phase leaked messages it claims it consumed (the
   // recover() footgun, DESIGN.md §12). recover_report() on a clean machine
@@ -333,6 +342,10 @@ PhaseResult run_compiler_pipeline(int procs, const Workload& w,
     const rt::RecoverReport post = machine.recover_report();
     CHAOS_CHECK(post.dirty_shards.empty(),
                 "clean bench run left messages in mailbox shards");
+    // The Figure 4 program never rewrites end_pt1/end_pt2 mid-run, so the
+    // repair path must never fire (DESIGN.md §14).
+    CHAOS_CHECK(totals.schedule_repairs == 0 && totals.repair_fallbacks == 0,
+                "non-adaptive bench run triggered schedule repair");
   }
 
   result.wall_seconds =
@@ -374,6 +387,12 @@ void print_footer(const RobustnessTally& tally) {
   std::printf(
       "note: measured = modeled virtual seconds on the simulated iPSC/860 "
       "(max over processes).\n");
+  if (tally.schedule_repairs > 0 || tally.repair_fallbacks > 0) {
+    std::printf("repairs: %lld schedules repaired in place, %lld fallbacks "
+                "to full re-inspection (DESIGN.md §14).\n",
+                static_cast<long long>(tally.schedule_repairs),
+                static_cast<long long>(tally.repair_fallbacks));
+  }
   if (tally.clean()) {
     std::printf("robustness: clean run (0 faults injected, 0 timeouts, "
                 "0 poisoned waits, 0 retries).\n");

@@ -47,18 +47,31 @@ struct PipelineConfig {
   core::IterRule iter_rule = core::IterRule::MostLocalReferences;
   i64 ttable_page_size = 4096;
   bool ttable_replicated = false;
-  /// Attach a persistent dist::TranslationCache to the loop plan's inspector
-  /// workspace (hand pipeline). Pays one allreduce vote per localize and
-  /// absorbs warm locate rounds, so it (correctly) LOWERS modeled times on
-  /// no-reuse configurations — keep rows using it separate from
-  /// paper-comparison rows. Default off: all existing configurations stay
-  /// bit-identical.
+  /// Unified plan-construction options (DESIGN.md §14) applied to every plan
+  /// the pipeline builds: flat locate protocol, translation cache, repair
+  /// policy + threshold. Flat locate is on by default in the bench pipelines
+  /// — the committed BENCH baselines are recorded with it — while library
+  /// defaults stay off so unit-test modeled times are untouched. A non-null
+  /// plan.translation_cache pointer is attached as-is (caller owns it).
+  core::PlanOptions plan{.flat_locate = true};
+  /// DEPRECATED (pre-PlanOptions knob): makes the pipeline construct and
+  /// attach its own persistent dist::TranslationCache when plan's pointer is
+  /// null. Pays one allreduce vote per localize and absorbs warm locate
+  /// rounds, so it (correctly) LOWERS modeled times on no-reuse
+  /// configurations — keep rows using it separate from paper-comparison
+  /// rows. Prefer setting plan.translation_cache.
   bool translation_cache = false;
-  /// Flat (paged) translation-lookup protocol inside the FORALL inspectors
-  /// (core::InspectorWorkspace::set_flat_locate). On by default in the bench
-  /// pipelines — the committed BENCH baselines are recorded with it — while
-  /// library defaults stay off so unit-test modeled times are untouched.
+  /// DEPRECATED (pre-PlanOptions knob): still honored — ANDed with
+  /// plan.flat_locate by effective_plan(). Prefer plan.flat_locate.
   bool flat_locate = true;
+
+  /// The options every plan construction in the pipelines actually uses:
+  /// `plan` with the deprecated bools merged in.
+  [[nodiscard]] core::PlanOptions effective_plan() const {
+    core::PlanOptions o = plan;
+    o.flat_locate = plan.flat_locate && flat_locate;
+    return o;
+  }
   /// Supervision policy for the pipeline run (DESIGN.md §11): the whole
   /// body is one supervised phase, recovered + retried on transient
   /// failures. The default (max_attempts = 1) never retries, so every
@@ -102,6 +115,11 @@ struct PhaseResult {
   i64 restored_segments = 0;
   i64 restored_bytes = 0;
   i64 shrinks = 0;
+  /// Incremental schedule-repair counters (DESIGN.md §14), machine-total.
+  /// Both zero on any non-adaptive run — the pipelines assert it on clean
+  /// runs, since their indirection arrays never change after inspection.
+  i64 schedule_repairs = 0;
+  i64 repair_fallbacks = 0;
 
   [[nodiscard]] f64 total() const {
     return graph_gen + partitioner + inspector + remap + executor;
@@ -146,6 +164,10 @@ struct RobustnessTally {
   i64 checkpoint_captures = 0;
   i64 restored_segments = 0;
   i64 shrinks = 0;
+  /// Schedule-repair activity (§14). Informational, not a health signal:
+  /// adaptive benches repair on purpose, so clean() ignores these.
+  i64 schedule_repairs = 0;
+  i64 repair_fallbacks = 0;
 
   void add(const PhaseResult& r) {
     faults_injected += r.faults_injected;
@@ -157,6 +179,8 @@ struct RobustnessTally {
     checkpoint_captures += r.checkpoint_captures;
     restored_segments += r.restored_segments;
     shrinks += r.shrinks;
+    schedule_repairs += r.schedule_repairs;
+    repair_fallbacks += r.repair_fallbacks;
   }
   [[nodiscard]] bool clean() const {
     return faults_injected == 0 && timeouts == 0 && poisoned_waits == 0 &&

@@ -16,6 +16,7 @@
 #include "workload/mesh.hpp"
 
 namespace rt = chaos::rt;
+namespace core = chaos::core;
 namespace lang = chaos::lang;
 namespace wl = chaos::wl;
 using chaos::f64;
@@ -92,6 +93,9 @@ void run_demo(rt::Machine& machine, const lang::Program& program,
     inst.bind_real("X", x0);
     inst.bind_int("END_PT1", e1);
     inst.bind_int("END_PT2", e2);
+    // Unified plan construction (PlanOptions): defaults keep this demo's
+    // modeled times identical to the pre-PlanOptions output.
+    inst.set_options(core::PlanOptions{});
     inst.execute(p);
 
     const auto y = inst.fetch_real(p, "Y");

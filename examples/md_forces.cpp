@@ -73,8 +73,13 @@ int main(int argc, char** argv) {
     rd.add(q).add(fx);
     rd.apply(p, distfmt);
 
-    auto plan = core::EdgeReductionLoop::inspect(p, *pair_dist, p1, p2,
-                                                 *distfmt);
+    // Unified plan construction (PlanOptions): the pair list is rebuilt
+    // rarely, so a schedule repair after a neighbor-list update would be the
+    // next step — Auto is the default policy.
+    const core::PlanOptions opts{};
+    auto plan = core::EdgeReductionLoop::inspect(
+        p, *pair_dist, p1, p2, *distfmt, core::IterRule::MostLocalReferences,
+        opts);
 
     // The electrostatic kernel: Coulomb-like pair interaction, ~40 flops.
     auto coulomb = [](f64 qa, f64 qb) {

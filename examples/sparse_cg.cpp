@@ -121,9 +121,13 @@ int main(int argc, char** argv) {
     builder.geometry(coords);
     auto d = core::set_by_partitioning(p, *builder.build(), partitioner);
 
-    // Assemble the local rows and localize the column indices ONCE.
+    // Assemble the local rows and localize the column indices ONCE, through
+    // a workspace configured with the unified PlanOptions surface.
     const auto A = build_local_laplacian(p, mesh, *d);
-    auto loc = core::localize(p, *d, A.cols);
+    core::InspectorWorkspace iws;
+    iws.configure(core::PlanOptions{});
+    core::Localized loc;
+    core::localize(p, *d, A.cols, iws, loc);
     const i64 nlocal = d->my_local_size();
 
     // SpMV through the reused schedule: ghost-gather x, then local rows.

@@ -19,7 +19,9 @@
 #include "core/executor.hpp"
 #include "core/inspector.hpp"
 #include "core/iter_partition.hpp"
+#include "core/plan_options.hpp"
 #include "dist/darray.hpp"
+#include "dist/remap.hpp"
 
 namespace chaos::core {
 
@@ -29,9 +31,17 @@ struct EdgeLoopPlan {
   /// Indirection values remapped onto the executing processes (one value per
   /// local iteration of iters.iter_dist).
   std::vector<i64> end1, end2;
+  /// Pre-remap indirection slices as of the last successful build or repair
+  /// (this rank's segments of the caller's ept1/ept2). The repair path diffs
+  /// the caller's NEW slices against these so only changed endpoints ride
+  /// the remap — communication ∝ delta, not mesh.
+  std::vector<i64> src1, src2;
   /// Localized references of end1/end2 against the data distribution, with
   /// the shared communication schedule.
   LocalizedMany loc;
+  /// Repair baseline: the distinct set + entries the schedule was last
+  /// built/spliced from (DESIGN.md §14).
+  LocalizeSnapshot snap;
   /// Executor staging, sized once from the schedule on the first sweep so
   /// repeated execute() calls through this plan allocate nothing. Mutable:
   /// scratch identity, not part of the plan's logical state.
@@ -39,8 +49,11 @@ struct EdgeLoopPlan {
   /// Inspector staging (dedup table, distinct arena, request CSR). Callers
   /// that rebuild a plan in place — the no-reuse pipelines re-running the
   /// inspector every sweep — re-localize through warm buffers; attach a
-  /// dist::TranslationCache to also skip warm locate rounds.
+  /// dist::TranslationCache (via PlanOptions) to also skip warm locates.
   InspectorWorkspace iws;
+  /// Delta-remap staging (inverse placement map + payload CSR), grow-only.
+  dist::RemapDeltaWorkspace remap_ws;
+  std::vector<i64> delta_pos, delta_val;  ///< changed-slice diff scratch
   /// Build validity stamp: a failed (thrown-through) inspection leaves the
   /// plan not ready and execute() refuses it (DESIGN.md §11).
   PlanBuildState build;
@@ -48,18 +61,35 @@ struct EdgeLoopPlan {
   [[nodiscard]] i64 my_iterations() const {
     return static_cast<i64>(end1.size());
   }
+  [[nodiscard]] const PlanOptions& options() const { return iws.options(); }
 };
 
 class EdgeReductionLoop {
  public:
   /// Collective inspector (phases B+D of Figure 2): partitions the loop
   /// iterations against @p data_dist, remaps the indirection slices, and
-  /// localizes them.
+  /// localizes them. @p opts is the unified plan-construction surface
+  /// (cache, locate protocol, repair policy) — SPMD-identical on all ranks.
   [[nodiscard]] static std::shared_ptr<EdgeLoopPlan> inspect(
       rt::Process& p, const dist::Distribution& edge_dist,
       std::span<const i64> ept1, std::span<const i64> ept2,
       const dist::Distribution& data_dist,
-      IterRule rule = IterRule::MostLocalReferences);
+      IterRule rule = IterRule::MostLocalReferences,
+      const PlanOptions& opts = {});
+
+  /// Collective incremental repair (DESIGN.md §14): updates @p plan in
+  /// place for CHANGED indirection values — same edge and data
+  /// distributions, same iteration partition, new ept1/ept2 contents. Ships
+  /// only changed endpoints through the remap, locates only novel globals,
+  /// and splices the schedule; on success the plan is bit-identical to a
+  /// full inspect() of the same inputs. Returns false when the machine-wide
+  /// vote rejects (delta over threshold, repair off, or hard
+  /// ineligibility) — the plan is then left NOT ready and the caller must
+  /// run a full inspect(). Every rank calls together.
+  [[nodiscard]] static bool repair(rt::Process& p, EdgeLoopPlan& plan,
+                                   std::span<const i64> ept1,
+                                   std::span<const i64> ept2,
+                                   const dist::Distribution& data_dist);
 
   /// Collective executor (phase E): gathers x ghosts, sweeps local
   /// iterations computing y(e1) += f(x1,x2) and y(e2) += g(x1,x2) into local
@@ -104,8 +134,13 @@ class EdgeReductionLoop {
 struct SingleStatementPlan {
   IterationPartition iters;
   std::vector<i64> ia, ib, ic;  ///< remapped indirection values
+  /// Pre-remap slices at the last build/repair (see EdgeLoopPlan::src1).
+  std::vector<i64> src_ia, src_ib, src_ic;
   Localized lhs;                ///< ia against the y distribution
   LocalizedMany rhs;            ///< ib, ic against the x distribution
+  /// Repair baselines, one per localized distribution (DESIGN.md §14).
+  LocalizeSnapshot lhs_snap;
+  LocalizeSnapshot rhs_snap;
   /// Shared executor staging for both schedules (staging() re-slices per
   /// schedule; buffers grow to the larger one once), so repeated execute()
   /// calls allocate nothing.
@@ -116,12 +151,16 @@ struct SingleStatementPlan {
   /// differently.
   InspectorWorkspace iws;
   InspectorWorkspace lhs_iws;
+  /// Delta-remap staging shared by the three indirection slices.
+  dist::RemapDeltaWorkspace remap_ws;
+  std::vector<i64> delta_pos, delta_val;
   /// Build validity stamp (see EdgeLoopPlan::build).
   PlanBuildState build;
 
   [[nodiscard]] i64 my_iterations() const {
     return static_cast<i64>(ia.size());
   }
+  [[nodiscard]] const PlanOptions& options() const { return iws.options(); }
 };
 
 class SingleStatementLoop {
@@ -131,7 +170,19 @@ class SingleStatementLoop {
       std::span<const i64> ia, std::span<const i64> ib,
       std::span<const i64> ic, const dist::Distribution& y_dist,
       const dist::Distribution& x_dist,
-      IterRule rule = IterRule::MostLocalReferences);
+      IterRule rule = IterRule::MostLocalReferences,
+      const PlanOptions& opts = {});
+
+  /// Collective incremental repair of both schedules (lhs against y, rhs
+  /// against x) for changed ia/ib/ic values — see EdgeReductionLoop::repair
+  /// for the contract. Both splices must win their votes; a fallback on
+  /// either leaves the plan NOT ready and returns false.
+  [[nodiscard]] static bool repair(rt::Process& p, SingleStatementPlan& plan,
+                                   std::span<const i64> ia,
+                                   std::span<const i64> ib,
+                                   std::span<const i64> ic,
+                                   const dist::Distribution& y_dist,
+                                   const dist::Distribution& x_dist);
 
   /// y(ia(i)) = f(x(ib(i)), x(ic(i))). FORALL semantics: distinct iterations
   /// must write distinct elements (checked only by construction).

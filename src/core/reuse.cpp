@@ -22,4 +22,18 @@ bool reuse_valid(const ReuseRegistry& reg, const InspectorRecord& rec,
   return true;
 }
 
+bool dads_match(const InspectorRecord& rec,
+                std::span<const dist::Dad> cur_data_dads,
+                std::span<const dist::Dad> cur_ind_dads) {
+  if (cur_data_dads.size() != rec.data_dads.size()) return false;
+  for (std::size_t i = 0; i < cur_data_dads.size(); ++i) {
+    if (!(cur_data_dads[i] == rec.data_dads[i])) return false;
+  }
+  if (cur_ind_dads.size() != rec.ind_dads.size()) return false;
+  for (std::size_t j = 0; j < cur_ind_dads.size(); ++j) {
+    if (!(cur_ind_dads[j] == rec.ind_dads[j])) return false;
+  }
+  return true;
+}
+
 }  // namespace chaos::core

@@ -20,6 +20,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dist/dad.hpp"
@@ -71,6 +72,16 @@ struct InspectorRecord {
                                std::span<const dist::Dad> cur_data_dads,
                                std::span<const dist::Dad> cur_ind_dads);
 
+/// Conditions 1 and 2 only (DAD spans unchanged, last_mod ignored): the
+/// repair-eligibility predicate. A record that passes this but fails
+/// reuse_valid is stale ONLY because an indirection array's values changed
+/// in place — exactly the case an incremental splice (DESIGN.md §14) can
+/// fix. A failed DAD compare (REDISTRIBUTE, remap, shrink) is never
+/// repairable and must take the full-miss path.
+[[nodiscard]] bool dads_match(const InspectorRecord& rec,
+                              std::span<const dist::Dad> cur_data_dads,
+                              std::span<const dist::Dad> cur_ind_dads);
+
 /// Cache of inspector products keyed by loop id. The product type is opaque
 /// (schedules, iteration partitions, localized references — whatever the
 /// loop's inspector builds); the cache only owns the guard logic.
@@ -79,21 +90,84 @@ class InspectorCache {
   struct Stats {
     i64 hits = 0;
     i64 misses = 0;
+    /// Third outcome beside hit/miss (DESIGN.md §14): stale slots whose
+    /// DADs still matched and were spliced in place, and repair attempts
+    /// that fell back to a full rebuild (threshold vote or repair-off).
+    i64 repairs = 0;
+    i64 repair_fallbacks = 0;
   };
 
   /// Returns the cached product for @p loop_id if the Section 3 conditions
   /// hold, otherwise runs @p build (which must return
-  /// std::shared_ptr<Product>) and records the new guard state.
+  /// std::shared_ptr<Product>) and records the new guard state. Never
+  /// attempts repair and never counts a repair fallback: a stale slot is an
+  /// ordinary miss, exactly the pre-§14 behavior.
   template <typename Product, typename BuildFn>
   std::shared_ptr<Product> get_or_build(
       u64 loop_id, const ReuseRegistry& reg,
       std::vector<dist::Dad> cur_data_dads,
       std::vector<dist::Dad> cur_ind_dads, BuildFn&& build) {
+    return get_or_build_impl<Product>(
+        /*offer_repair=*/false, loop_id, reg, std::move(cur_data_dads),
+        std::move(cur_ind_dads), std::forward<BuildFn>(build),
+        [](const std::shared_ptr<Product>&) { return false; });
+  }
+
+  /// Repair-aware overload: when the slot fails ONLY the last_mod stamp
+  /// check (both DAD spans equal — an indirection array's values changed in
+  /// place, never a REDISTRIBUTE), @p repair is offered the cached product
+  /// first. It returns true to accept the splice — the guard stamps are
+  /// refreshed and the SAME product is returned (a third outcome beside
+  /// hit/miss) — or false to decline, which falls through to the ordinary
+  /// miss path. A DAD mismatch never reaches @p repair: a fresh incarnation
+  /// always rebuilds.
+  template <typename Product, typename BuildFn, typename RepairFn>
+  std::shared_ptr<Product> get_or_build(
+      u64 loop_id, const ReuseRegistry& reg,
+      std::vector<dist::Dad> cur_data_dads,
+      std::vector<dist::Dad> cur_ind_dads, BuildFn&& build,
+      RepairFn&& repair) {
+    return get_or_build_impl<Product>(
+        /*offer_repair=*/true, loop_id, reg, std::move(cur_data_dads),
+        std::move(cur_ind_dads), std::forward<BuildFn>(build),
+        std::forward<RepairFn>(repair));
+  }
+
+  /// Drops one loop's cached product (or everything).
+  void invalidate(u64 loop_id) { slots_.erase(loop_id); }
+  void clear() { slots_.clear(); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    InspectorRecord record;
+    std::shared_ptr<void> product;
+  };
+
+  template <typename Product, typename BuildFn, typename RepairFn>
+  std::shared_ptr<Product> get_or_build_impl(
+      bool offer_repair, u64 loop_id, const ReuseRegistry& reg,
+      std::vector<dist::Dad> cur_data_dads,
+      std::vector<dist::Dad> cur_ind_dads, BuildFn&& build,
+      RepairFn&& repair) {
     auto it = slots_.find(loop_id);
-    if (it != slots_.end() &&
-        reuse_valid(reg, it->second.record, cur_data_dads, cur_ind_dads)) {
-      ++stats_.hits;
-      return std::static_pointer_cast<Product>(it->second.product);
+    if (it != slots_.end()) {
+      if (reuse_valid(reg, it->second.record, cur_data_dads, cur_ind_dads)) {
+        ++stats_.hits;
+        return std::static_pointer_cast<Product>(it->second.product);
+      }
+      if (offer_repair &&
+          dads_match(it->second.record, cur_data_dads, cur_ind_dads)) {
+        auto cached = std::static_pointer_cast<Product>(it->second.product);
+        if (repair(cached)) {
+          ++stats_.repairs;
+          refresh_stamps(it->second.record, reg);
+          return cached;
+        }
+        ++stats_.repair_fallbacks;
+      }
     }
     ++stats_.misses;
     std::shared_ptr<Product> product = build();
@@ -109,18 +183,16 @@ class InspectorCache {
     return product;
   }
 
-  /// Drops one loop's cached product (or everything).
-  void invalidate(u64 loop_id) { slots_.erase(loop_id); }
-  void clear() { slots_.clear(); }
+  /// Re-stamps a repaired slot's guard: the splice consumed the indirection
+  /// arrays' CURRENT values, so the record's last_mod must advance to now or
+  /// the very next probe would re-repair an already-current plan.
+  static void refresh_stamps(InspectorRecord& rec, const ReuseRegistry& reg) {
+    rec.ind_last_mod.clear();
+    for (const auto& dad : rec.ind_dads) {
+      rec.ind_last_mod.push_back(reg.last_mod(dad));
+    }
+  }
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t size() const { return slots_.size(); }
-
- private:
-  struct Slot {
-    InspectorRecord record;
-    std::shared_ptr<void> product;
-  };
   std::unordered_map<u64, Slot> slots_;
   Stats stats_;
 };
@@ -172,6 +244,64 @@ class PlanCache {
     }
     ++stats_.misses;
     return nullptr;
+  }
+
+  /// Three-way probe outcome (DESIGN.md §14): Hit and Miss mirror probe();
+  /// RepairCandidate means the slot exists, the DAD incarnation sets still
+  /// match, and only the last_mod stamp is stale — the VM's CHECK_INCARNATION
+  /// may attempt an in-place splice of the cached plan before paying a full
+  /// re-inspection.
+  enum class ProbeOutcome : u8 { Miss = 0, Hit, RepairCandidate };
+  struct ProbeResult {
+    ProbeOutcome outcome = ProbeOutcome::Miss;
+    std::shared_ptr<void> product;  ///< set for Hit AND RepairCandidate
+  };
+
+  /// probe() extended with the repair candidacy test. A RepairCandidate is
+  /// NOT yet counted — the caller resolves it with note_repaired() (counts a
+  /// repair, refreshes the slot's stamps) or note_repair_fallback() (counts
+  /// a fallback plus the miss its full rebuild implies, followed by the
+  /// usual store()). Callers that never repair should keep using probe(),
+  /// where a stale-stamp slot is an ordinary miss.
+  [[nodiscard]] ProbeResult probe_ex(u64 stmt_id, const ReuseRegistry& reg,
+                                     std::span<const dist::Dad> data_dads,
+                                     std::span<const dist::Dad> ind_dads) {
+    const auto it = slots_.find(key_of(stmt_id, data_dads, ind_dads));
+    if (it == slots_.end()) {
+      ++stats_.misses;
+      return {};
+    }
+    if (reuse_valid(reg, it->second.record, data_dads, ind_dads)) {
+      ++stats_.hits;
+      return {ProbeOutcome::Hit, it->second.product};
+    }
+    if (dads_match(it->second.record, data_dads, ind_dads)) {
+      return {ProbeOutcome::RepairCandidate, it->second.product};
+    }
+    ++stats_.misses;
+    return {};
+  }
+
+  /// Resolves a RepairCandidate whose splice succeeded: counts the repair
+  /// and advances the slot's guard stamps to the indirection arrays'
+  /// current last_mod (the splice consumed their current values).
+  void note_repaired(u64 stmt_id, const ReuseRegistry& reg,
+                     std::span<const dist::Dad> data_dads,
+                     std::span<const dist::Dad> ind_dads) {
+    ++stats_.repairs;
+    const auto it = slots_.find(key_of(stmt_id, data_dads, ind_dads));
+    if (it == slots_.end()) return;
+    it->second.record.ind_last_mod.clear();
+    for (const auto& dad : it->second.record.ind_dads) {
+      it->second.record.ind_last_mod.push_back(reg.last_mod(dad));
+    }
+  }
+
+  /// Resolves a RepairCandidate that declined or failed the vote: one
+  /// fallback plus the full-rebuild miss it implies.
+  void note_repair_fallback() {
+    ++stats_.repair_fallbacks;
+    ++stats_.misses;
   }
 
   /// Records a freshly built plan under the probe-time guard state.

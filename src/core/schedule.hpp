@@ -11,6 +11,7 @@
 // its prefix precomputed, making recv_offset() O(1) in the hot path.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <sstream>
 #include <string>
@@ -32,6 +33,7 @@ enum class ScheduleErrorCode : u8 {
   GhostCountMismatch,   ///< cached nghost != receive prefix total
   IndexCountMismatch,   ///< send_indices length != send prefix total
   IndexOutOfBounds,     ///< a send index falls outside [0, nlocal_at_build)
+  SpliceMismatch,       ///< a repair script disagrees with the live send side
 };
 
 [[nodiscard]] constexpr const char* to_string(ScheduleErrorCode code) {
@@ -49,6 +51,8 @@ enum class ScheduleErrorCode : u8 {
       return "send_indices length does not match the send prefix";
     case ScheduleErrorCode::IndexOutOfBounds:
       return "send index outside the local segment at build time";
+    case ScheduleErrorCode::SpliceMismatch:
+      return "repair splice script does not match the live send side";
   }
   return "unknown schedule error";
 }
@@ -198,6 +202,108 @@ struct CommSchedule {
       }
     }
     return {};
+  }
+
+  /// In-place send-side splice (incremental schedule repair, DESIGN.md §14).
+  /// @p script_payload / @p script_offsets is one repair script per
+  /// destination rank in flat CSR form — exactly what the repairing
+  /// requester shipped through exchange_csr. Per destination the script is
+  ///   [ntomb, tombstoned locals... , nins, (position, local) pairs...]
+  /// where tombstones name departed ghost elements by VALUE (a request list
+  /// holds distinct locals, so values identify entries) and insertions name
+  /// the final position of each novel element in the destination's NEW
+  /// request order. Because ghost order is per-owner canonical (sorted by
+  /// global), surviving entries keep their relative order and the spliced
+  /// segment reproduces a full rebuild bit for bit. The rebuild stages
+  /// through @p scratch_indices / @p scratch_tombs (caller-owned, grow-only:
+  /// warm repairs allocate nothing) and swaps into place; offsets are
+  /// recomputed from the per-segment length deltas. Throws ScheduleInvalid
+  /// (SpliceMismatch) if a script disagrees with the live send side; call
+  /// validate_or_throw afterwards for the full structural re-check.
+  void splice_send(std::span<const i64> script_payload,
+                   std::span<const i64> script_offsets,
+                   std::vector<i64>& scratch_indices,
+                   std::vector<i64>& scratch_tombs) {
+    const std::size_t np = send_offsets.empty() ? 0 : send_offsets.size() - 1;
+    if (script_offsets.size() != np + 1) {
+      throw ScheduleInvalid(
+          "splice_send: script prefix does not match the schedule width",
+          ScheduleErrorCode::SpliceMismatch, 0);
+    }
+    scratch_indices.clear();
+    i64 old_begin = 0;  // offsets are rewritten in place; track the old ones
+    for (std::size_t d = 0; d < np; ++d) {
+      const i64* s = script_payload.data() + script_offsets[d];
+      const i64* const s_end = script_payload.data() + script_offsets[d + 1];
+      const i64 old_end = send_offsets[d + 1];
+      const std::span<const i64> old_seg =
+          std::span<const i64>(send_indices)
+              .subspan(static_cast<std::size_t>(old_begin),
+                       static_cast<std::size_t>(old_end - old_begin));
+      old_begin = old_end;
+      if (s == s_end) {  // untouched destination: segment copies through
+        scratch_indices.insert(scratch_indices.end(), old_seg.begin(),
+                               old_seg.end());
+        send_offsets[d + 1] = static_cast<i64>(scratch_indices.size());
+        continue;
+      }
+      const i64 ntomb = *s++;
+      if (s + ntomb > s_end) {
+        throw ScheduleInvalid("splice_send: truncated tombstone list",
+                              ScheduleErrorCode::SpliceMismatch,
+                              static_cast<i64>(d));
+      }
+      scratch_tombs.assign(s, s + ntomb);
+      std::sort(scratch_tombs.begin(), scratch_tombs.end());
+      s += ntomb;
+      const i64 nins = *s++;
+      if (s + 2 * nins != s_end) {
+        throw ScheduleInvalid("splice_send: truncated insertion list",
+                              ScheduleErrorCode::SpliceMismatch,
+                              static_cast<i64>(d));
+      }
+      const i64 new_len = static_cast<i64>(old_seg.size()) - ntomb + nins;
+      const std::size_t base = scratch_indices.size();
+      scratch_indices.resize(base + static_cast<std::size_t>(new_len));
+      // One merge pass over final positions: take the next insertion when
+      // its position matches, else the next surviving old entry.
+      std::size_t old_k = 0;
+      i64 ins_k = 0, removed = 0;
+      for (i64 pos = 0; pos < new_len; ++pos) {
+        if (ins_k < nins && s[2 * ins_k] == pos) {
+          scratch_indices[base + static_cast<std::size_t>(pos)] =
+              s[2 * ins_k + 1];
+          ++ins_k;
+          continue;
+        }
+        while (old_k < old_seg.size() &&
+               std::binary_search(scratch_tombs.begin(), scratch_tombs.end(),
+                                  old_seg[old_k])) {
+          ++old_k;
+          ++removed;
+        }
+        if (old_k >= old_seg.size()) {
+          throw ScheduleInvalid(
+              "splice_send: script consumed the old segment early",
+              ScheduleErrorCode::SpliceMismatch, static_cast<i64>(d));
+        }
+        scratch_indices[base + static_cast<std::size_t>(pos)] =
+            old_seg[old_k++];
+      }
+      while (old_k < old_seg.size() &&
+             std::binary_search(scratch_tombs.begin(), scratch_tombs.end(),
+                                old_seg[old_k])) {
+        ++old_k;
+        ++removed;
+      }
+      if (ins_k != nins || removed != ntomb || old_k != old_seg.size()) {
+        throw ScheduleInvalid(
+            "splice_send: script and segment disagree on the edit set",
+            ScheduleErrorCode::SpliceMismatch, static_cast<i64>(d));
+      }
+      send_offsets[d + 1] = static_cast<i64>(scratch_indices.size());
+    }
+    send_indices.swap(scratch_indices);
   }
 
   /// Boolean convenience over check().

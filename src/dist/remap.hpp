@@ -40,6 +40,89 @@ struct RemapPlan {
 /// carries no distribution identity, so this length compare is the only
 /// guard here; DistributedArray::redistribute additionally pins the plan to
 /// both endpoint distributions via their DAD incarnations.
+/// Scratch for apply_remap_delta: the plan's inverse placement map (source
+/// position -> (destination, ordinal in the destination's arrival order)),
+/// built once per plan and reused, plus the exchange staging. All buffers
+/// grow monotonically — warm delta applies perform zero heap allocations.
+struct RemapDeltaWorkspace {
+  std::vector<i64> dest_of;   ///< source pos -> destination rank
+  std::vector<i64> ord_of;    ///< source pos -> ordinal within that dest
+  bool inverse_built = false;
+  std::vector<i64> payload;   ///< flat (ordinal, value) pairs per dest
+  std::vector<i64> payload_offsets;
+  std::vector<i64> recv_payload;
+  std::vector<i64> recv_offsets;
+  std::vector<i64> counts_scratch;
+};
+
+/// Collective sparse companion of apply_remap (incremental schedule repair,
+/// DESIGN.md §14): pushes only the CHANGED source entries of an i64 array
+/// through @p plan, updating @p target — the array apply_remap produced —
+/// in place. Wire volume is two words per changed element, so a repair's
+/// remap leg costs ∝ delta size instead of re-shipping the whole array.
+/// Every rank must call together (changed sets may be empty on some ranks).
+inline void apply_remap_delta(rt::Process& p, const RemapPlan& plan,
+                              std::span<const i64> changed_pos,
+                              std::span<const i64> changed_val,
+                              std::span<i64> target,
+                              RemapDeltaWorkspace& ws) {
+  CHAOS_CHECK(changed_pos.size() == changed_val.size(),
+              "apply_remap_delta: positions/values length mismatch");
+  CHAOS_CHECK(static_cast<i64>(target.size()) == plan.nlocal_to,
+              "apply_remap_delta: target segment length does not match plan");
+  const auto np = plan.send_pos.size();
+  if (!ws.inverse_built) {
+    ws.dest_of.assign(static_cast<std::size_t>(plan.nlocal_from), -1);
+    ws.ord_of.assign(static_cast<std::size_t>(plan.nlocal_from), -1);
+    for (std::size_t d = 0; d < np; ++d) {
+      for (std::size_t k = 0; k < plan.send_pos[d].size(); ++k) {
+        const auto pos = static_cast<std::size_t>(plan.send_pos[d][k]);
+        ws.dest_of[pos] = static_cast<i64>(d);
+        ws.ord_of[pos] = static_cast<i64>(k);
+      }
+    }
+    ws.inverse_built = true;
+  }
+  // Pack (ordinal, value) pairs grouped by destination: count, prefix, fill.
+  ws.payload_offsets.assign(np + 1, 0);
+  for (const i64 pos : changed_pos) {
+    const i64 d = ws.dest_of[static_cast<std::size_t>(pos)];
+    CHAOS_CHECK(d >= 0, "apply_remap_delta: changed position never shipped");
+    ws.payload_offsets[static_cast<std::size_t>(d) + 1] += 2;
+  }
+  for (std::size_t d = 0; d < np; ++d) {
+    ws.payload_offsets[d + 1] += ws.payload_offsets[d];
+  }
+  ws.payload.resize(static_cast<std::size_t>(ws.payload_offsets[np]));
+  ws.counts_scratch.assign(np, 0);  // per-dest fill cursor
+  for (std::size_t i = 0; i < changed_pos.size(); ++i) {
+    const auto pos = static_cast<std::size_t>(changed_pos[i]);
+    const auto d = static_cast<std::size_t>(ws.dest_of[pos]);
+    const auto at = static_cast<std::size_t>(ws.payload_offsets[d] +
+                                             ws.counts_scratch[d]);
+    ws.payload[at] = ws.ord_of[pos];
+    ws.payload[at + 1] = changed_val[i];
+    ws.counts_scratch[d] += 2;
+  }
+  rt::exchange_csr<i64>(p, ws.payload, ws.payload_offsets, ws.recv_payload,
+                        ws.recv_offsets, ws.counts_scratch);
+  // Place: arriving (ordinal, value) pairs land where apply_remap would
+  // have put the s-th source's ordinal-th element.
+  for (std::size_t s = 0; s < np; ++s) {
+    for (i64 k = ws.recv_offsets[s]; k < ws.recv_offsets[s + 1]; k += 2) {
+      const auto ord = static_cast<std::size_t>(
+          ws.recv_payload[static_cast<std::size_t>(k)]);
+      CHAOS_CHECK(ord < plan.place_pos[s].size(),
+                  "apply_remap_delta: peer sent an out-of-range ordinal");
+      target[static_cast<std::size_t>(plan.place_pos[s][ord])] =
+          ws.recv_payload[static_cast<std::size_t>(k) + 1];
+    }
+  }
+  p.clock().charge_ops(static_cast<i64>(changed_pos.size()) +
+                           (ws.recv_offsets[np] / 2),
+                       p.params().mem_us_per_word);
+}
+
 template <typename T>
 [[nodiscard]] std::vector<T> apply_remap(rt::Process& p, const RemapPlan& plan,
                                          std::span<const T> src) {

@@ -60,6 +60,23 @@ bool TranslationCache::try_get(i64 g, Entry& out) {
   return false;
 }
 
+i64 TranslationCache::probe_batch(std::span<const i64> ids,
+                                  std::span<const i64> globals,
+                                  std::span<Entry> entries_out,
+                                  std::vector<i64>& miss_ids,
+                                  std::vector<i64>& miss_globals) {
+  miss_ids.clear();
+  miss_globals.clear();
+  for (const i64 k : ids) {
+    const i64 g = globals[static_cast<std::size_t>(k)];
+    if (!try_get(g, entries_out[static_cast<std::size_t>(k)])) {
+      miss_ids.push_back(k);
+      miss_globals.push_back(g);
+    }
+  }
+  return static_cast<i64>(miss_ids.size());
+}
+
 void TranslationCache::put(i64 g, const Entry& e) {
   const std::size_t home = home_slot(g);
   std::size_t s = home;

@@ -14,6 +14,7 @@
 // first probe and throws ChaosError.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "dist/dad.hpp"
@@ -57,6 +58,18 @@ class TranslationCache {
 
   /// Probe for @p g; fills @p out and counts a hit, or counts a miss.
   [[nodiscard]] bool try_get(i64 g, Entry& out);
+
+  /// Delta-locate entry point (incremental schedule repair, DESIGN.md §14):
+  /// probes @p globals[ids[k]] for every ordinal in @p ids, writing hits
+  /// into @p entries_out[ids[k]] and appending the misses — ordinal and
+  /// global — to @p miss_ids / @p miss_globals (cleared first). The repair
+  /// path hands this its novel-global ordinals so only cache misses reach
+  /// the translation-table locate round; the full inspector uses it over
+  /// every distinct ordinal. Returns the miss count. Allocation-free once
+  /// the output vectors are warm.
+  i64 probe_batch(std::span<const i64> ids, std::span<const i64> globals,
+                  std::span<Entry> entries_out, std::vector<i64>& miss_ids,
+                  std::vector<i64>& miss_globals);
 
   /// Inserts (or refreshes) @p g. Bounded: probing is capped, and a full
   /// neighborhood evicts the home slot instead of growing the table.

@@ -88,11 +88,24 @@ struct LoopPlan {
   std::vector<i64> iter_ids;  ///< my 0-based iteration ids, local order
 
   std::vector<std::vector<i64>> ind_values;  ///< remapped, 0-based
+  /// Pre-remap 0-based indirection slices at the last build/repair: the
+  /// repair path diffs fresh slices against these so only changed values
+  /// ride the remap (DESIGN.md §14).
+  std::vector<std::vector<i64>> src_ind_values;
   core::LocalizedMany data_loc;              ///< one batch per ind array
+  /// Repair baselines: the shared data schedule's, plus one per private
+  /// assign schedule (unused entries stay invalid for direct assigns, whose
+  /// iter_ids references never change under an indirection rewrite).
+  core::LocalizeSnapshot data_snap;
+  std::vector<core::LocalizeSnapshot> assign_snaps;
+  std::vector<int> assign_batch;  ///< ind batch per assign slot; -1 = direct
   /// One inspector workspace per localized distribution (data_dist vs
   /// iter_space), so an attached translation cache binds to one DAD.
   core::InspectorWorkspace iws;         ///< localizes against data_dist
   core::InspectorWorkspace direct_iws;  ///< localizes against iter_space
+  /// Delta-remap staging + diff scratch for the repair path.
+  dist::RemapDeltaWorkspace remap_ws;
+  std::vector<i64> delta_pos, delta_val, slice_scratch;
 
   bool has_direct = false;
   core::Localized direct_loc;  ///< batch = iter_ids against iter_space
@@ -364,6 +377,8 @@ void plan_partition(rt::Process& p, Instance::State& st, const ForallMeta& m,
       for (auto& slice : ind_slices) {
         plan.ind_values.push_back(
             dist::apply_remap<i64>(p, plan.iters.remap, slice));
+        // Keep the pre-remap slice: the repair-path diff baseline.
+        plan.src_ind_values.push_back(std::move(slice));
       }
     } else {
       // No indirection: iterations stay home.
@@ -387,6 +402,7 @@ void plan_localize(rt::Process& p, Instance::State& st, const ForallMeta& m,
     std::vector<std::span<const i64>> batches(plan.ind_values.begin(),
                                               plan.ind_values.end());
     core::localize_many(p, *plan.data_dist, batches, plan.iws, plan.data_loc);
+    plan.iws.capture(plan.data_snap);
   }
   plan.has_direct = !m.direct_arrays.empty();
   if (plan.has_direct) {
@@ -442,14 +458,18 @@ void plan_localize(rt::Process& p, Instance::State& st, const ForallMeta& m,
       const dist::Distribution& target_dist =
           direct ? *plan.iter_space : *plan.data_dist;
       plan.assign_loc.emplace_back();
+      plan.assign_snaps.emplace_back();
       if (direct) {
+        plan.assign_batch.push_back(-1);
         core::localize(p, target_dist, plan.iter_ids, plan.direct_iws,
                        plan.assign_loc.back());
       } else {
         const int b = batch_index(stmt.ind_array);
+        plan.assign_batch.push_back(b);
         core::localize(p, target_dist,
                        plan.ind_values[static_cast<std::size_t>(b)],
                        plan.iws, plan.assign_loc.back());
+        plan.iws.capture(plan.assign_snaps.back());
       }
     } else {
       w.refs_group = direct ? 1 : 0;
@@ -484,16 +504,117 @@ void plan_localize(rt::Process& p, Instance::State& st, const ForallMeta& m,
 /// LOCALIZE ops). Collective.
 std::shared_ptr<LoopPlan> build_plan(rt::Process& p, Instance::State& st,
                                      const ForallMeta& m, i64 n,
-                                     bool flat_locate, PhaseTimes& phases) {
+                                     const core::PlanOptions& opts,
+                                     PhaseTimes& phases) {
   auto plan = std::make_shared<LoopPlan>();
   plan->build.begin_build();
   plan->meta = &m;
-  plan->iws.set_flat_locate(flat_locate);
-  plan->direct_iws.set_flat_locate(flat_locate);
+  plan->iws.configure(opts);
+  plan->direct_iws.configure(opts);
   plan_partition(p, st, m, n, *plan, phases);
   plan_localize(p, st, m, *plan, phases);
   plan->build.mark_built();
   return plan;
+}
+
+/// Incremental repair of a cached LoopPlan whose guard failed ONLY the
+/// last_mod stamp (an indirection array was rewritten in place; every DAD
+/// unchanged). Keeps the iteration partition, ships only changed indirection
+/// values through the remap, and splices the data + non-direct assign
+/// schedules; direct schedules localize iter_ids, which an indirection
+/// rewrite cannot change. Collective; returns false (machine-uniform) when
+/// any vote rejects, leaving the plan NOT ready so the caller's full rebuild
+/// path takes over (DESIGN.md §14).
+bool repair_plan(rt::Process& p, Instance::State& st, const ForallMeta& m,
+                 i64 n, LoopPlan& plan, PhaseTimes& phases) {
+  bool ok = plan.build.ready() && plan.meta == &m && !m.ind_names.empty() &&
+            plan.iws.options().repair_enabled() &&
+            plan.iter_space->size() == n &&
+            plan.src_ind_values.size() == m.ind_names.size();
+
+  // Phase C': re-extract the indirection slices (same sema checks as the
+  // build path), diff against the pre-remap baselines, and push only the
+  // changed values through the remap. Remap time, like the build's phase C.
+  {
+    rt::ClockSection section(p.clock());
+    if (ok) {
+      for (std::size_t j = 0; j < m.ind_names.size(); ++j) {
+        const ArrayInfo& a = st.arrays.at(m.ind_names[j]);
+        if (a.integer == nullptr ||
+            a.integer->local().size() != plan.src_ind_values[j].size()) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (rt::allreduce_max(p, ok ? i64{0} : i64{1}) != 0) {
+      ++p.stats().repair_fallbacks;
+      return false;
+    }
+    plan.build.begin_build();  // mutating: not ready until the splice lands
+    for (std::size_t j = 0; j < m.ind_names.size(); ++j) {
+      const ArrayInfo& a = st.arrays.at(m.ind_names[j]);
+      const auto seg = a.integer->local();
+      plan.slice_scratch.resize(seg.size());
+      for (std::size_t i = 0; i < seg.size(); ++i) {
+        const i64 v = seg[i];
+        if (v < 1 || v > plan.data_dist->size()) {
+          sema_fail("indirection array '" + m.ind_names[j] +
+                        "' holds index " + std::to_string(v) +
+                        " outside 1.." +
+                        std::to_string(plan.data_dist->size()),
+                    m.line);
+        }
+        plan.slice_scratch[i] = v - 1;
+      }
+      plan.delta_pos.clear();
+      plan.delta_val.clear();
+      std::vector<i64>& base = plan.src_ind_values[j];
+      for (std::size_t i = 0; i < plan.slice_scratch.size(); ++i) {
+        if (plan.slice_scratch[i] != base[i]) {
+          plan.delta_pos.push_back(static_cast<i64>(i));
+          plan.delta_val.push_back(plan.slice_scratch[i]);
+          base[i] = plan.slice_scratch[i];
+        }
+      }
+      dist::apply_remap_delta(p, plan.iters.remap, plan.delta_pos,
+                              plan.delta_val, plan.ind_values[j],
+                              plan.remap_ws);
+      // The diff scan touches every slice element once.
+      p.clock().charge_ops(static_cast<i64>(seg.size()),
+                           p.params().mem_us_per_word);
+    }
+    phases.remap += section.elapsed_sec();
+  }
+
+  // Phase D': splice the shared data schedule, then each non-direct assign
+  // schedule, against their snapshots. Inspector time.
+  {
+    rt::ClockSection section(p.clock());
+    std::vector<std::span<const i64>> batches(plan.ind_values.begin(),
+                                              plan.ind_values.end());
+    if (!core::repair_localize_many(p, *plan.data_dist, batches, plan.iws,
+                                    plan.data_snap, plan.data_loc)) {
+      phases.inspector += section.elapsed_sec();
+      return false;
+    }
+    plan.iws.capture(plan.data_snap);
+    for (std::size_t slot = 0; slot < plan.assign_loc.size(); ++slot) {
+      const int b = plan.assign_batch[slot];
+      if (b < 0) continue;  // direct assign: iter_ids references unchanged
+      if (!core::repair_localize(p, *plan.data_dist,
+                                 plan.ind_values[static_cast<std::size_t>(b)],
+                                 plan.iws, plan.assign_snaps[slot],
+                                 plan.assign_loc[slot])) {
+        phases.inspector += section.elapsed_sec();
+        return false;
+      }
+      plan.iws.capture(plan.assign_snaps[slot]);
+    }
+    phases.inspector += section.elapsed_sec();
+  }
+  plan.build.mark_built();
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -804,11 +925,26 @@ void Instance::run_statement(rt::Process& p, const Statement& s) {
       for (const auto& name : scan.ind_names) {
         ind_dads.push_back(lookup_array(st, name, f->line).dad());
       }
-      plan = st.cache.get_or_build<LoopPlan>(
-          f->loop_id, st.registry, std::move(data_dads), std::move(ind_dads),
-          [&] { return build_plan(p, st, *meta, n, flat_locate_, phases_); });
+      auto build = [&] {
+        return build_plan(p, st, *meta, n, plan_opts_, phases_);
+      };
+      if (plan_opts_.repair_enabled()) {
+        plan = st.cache.get_or_build<LoopPlan>(
+            f->loop_id, st.registry, std::move(data_dads),
+            std::move(ind_dads), build,
+            [&](const std::shared_ptr<LoopPlan>& cand) {
+              return repair_plan(p, st, *meta, n, *cand, phases_);
+            });
+      } else {
+        // SPMD-uniform short-circuit: with repair off, the plain overload —
+        // no vote collectives, no fallback counting, stats bit-identical to
+        // the VM's two-way probe.
+        plan = st.cache.get_or_build<LoopPlan>(
+            f->loop_id, st.registry, std::move(data_dads),
+            std::move(ind_dads), build);
+      }
     } else {
-      plan = build_plan(p, st, *meta, n, flat_locate_, phases_);
+      plan = build_plan(p, st, *meta, n, plan_opts_, phases_);
     }
 
     rt::ClockSection section(p.clock());
@@ -1148,11 +1284,38 @@ void Instance::run_vm(rt::Process& p) {
           for (const auto& name : m.ind_names) {
             fx.guard_ind.push_back(lookup_array(st, name, m.line).dad());
           }
-          if (auto hit = st.plan_cache.probe(m.loop_id, st.registry,
-                                             fx.guard_data, fx.guard_ind)) {
-            fx.plan = std::static_pointer_cast<LoopPlan>(std::move(hit));
-            pc = ins.b;  // warm entry: straight to EXEC_BEGIN
-            break;
+          if (!plan_opts_.repair_enabled()) {
+            // Two-way probe: hit or plain miss, the pre-repair protocol.
+            if (auto hit = st.plan_cache.probe(m.loop_id, st.registry,
+                                               fx.guard_data, fx.guard_ind)) {
+              fx.plan = std::static_pointer_cast<LoopPlan>(std::move(hit));
+              pc = ins.b;  // warm entry: straight to EXEC_BEGIN
+              break;
+            }
+          } else {
+            // Three-way probe (DESIGN.md §14): hit, repair candidate (DADs
+            // match, only the indirection stamp is stale — try the splice
+            // before paying a full re-inspection), or miss.
+            auto pr = st.plan_cache.probe_ex(m.loop_id, st.registry,
+                                             fx.guard_data, fx.guard_ind);
+            if (pr.outcome == core::PlanCache::ProbeOutcome::Hit) {
+              fx.plan = std::static_pointer_cast<LoopPlan>(
+                  std::move(pr.product));
+              pc = ins.b;
+              break;
+            }
+            if (pr.outcome == core::PlanCache::ProbeOutcome::RepairCandidate) {
+              auto cand =
+                  std::static_pointer_cast<LoopPlan>(std::move(pr.product));
+              if (repair_plan(p, st, m, fx.n, *cand, phases_)) {
+                st.plan_cache.note_repaired(m.loop_id, st.registry,
+                                            fx.guard_data, fx.guard_ind);
+                fx.plan = std::move(cand);
+                pc = ins.b;  // repaired entry: straight to EXEC_BEGIN
+                break;
+              }
+              st.plan_cache.note_repair_fallback();
+            }
           }
         }
         ++pc;  // cold: fall through to PARTITION / LOCALIZE / STORE_PLAN
@@ -1164,8 +1327,8 @@ void Instance::run_vm(rt::Process& p) {
         fx.plan = std::make_shared<LoopPlan>();
         fx.plan->build.begin_build();
         fx.plan->meta = &m;
-        fx.plan->iws.set_flat_locate(flat_locate_);
-        fx.plan->direct_iws.set_flat_locate(flat_locate_);
+        fx.plan->iws.configure(plan_opts_);
+        fx.plan->direct_iws.configure(plan_opts_);
         plan_partition(p, st, m, fx.n, *fx.plan, phases_);
         ++pc;
         break;

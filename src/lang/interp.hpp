@@ -81,11 +81,17 @@ class Instance {
   /// VM on programs that never revisit an earlier DAD incarnation set.
   void set_tree_walk(bool enabled) { tree_walk_ = enabled; }
 
-  /// Uses the flat (paged) translation-lookup protocol inside FORALL
-  /// inspectors (see core::InspectorWorkspace::set_flat_locate). Off by
-  /// default so existing modeled baselines stay bit-identical; the bench
-  /// pipelines turn it on.
-  void set_flat_locate(bool enabled) { flat_locate_ = enabled; }
+  /// Installs the unified plan-construction options every FORALL inspector
+  /// workspace is configured with (flat locate protocol, repair policy and
+  /// threshold; the translation-cache pointer is ignored here — the VM's
+  /// per-plan caches are owned internally). SPMD discipline: identical on
+  /// every rank. Defaults keep existing modeled baselines bit-identical.
+  void set_options(const core::PlanOptions& opts) { plan_opts_ = opts; }
+  [[nodiscard]] const core::PlanOptions& options() const { return plan_opts_; }
+
+  /// DEPRECATED forwarder (pre-PlanOptions API): prefer
+  /// set_options(PlanOptions{.flat_locate = enabled}).
+  void set_flat_locate(bool enabled) { plan_opts_.flat_locate = enabled; }
 
   // --- execution ------------------------------------------------------------
 
@@ -125,7 +131,7 @@ class Instance {
   const Program* program_;
   bool reuse_enabled_ = true;
   bool tree_walk_ = false;
-  bool flat_locate_ = false;
+  core::PlanOptions plan_opts_;
   PhaseTimes phases_;
   std::unique_ptr<const ProgramPlan> plan_;
   std::map<std::string, i64> host_params_;

@@ -50,6 +50,13 @@ struct MessageStats {
   i64 checkpoint_bytes = 0;
   i64 restored_segments = 0;
   i64 restored_bytes = 0;
+  /// Incremental schedule repair (DESIGN.md §14): schedules spliced in
+  /// place by the delta path, and repair attempts that fell back to a full
+  /// re-inspection (voted delta fraction over threshold, or a hard
+  /// ineligibility). Both zero on any non-adaptive run — the bench footer
+  /// asserts it.
+  i64 schedule_repairs = 0;
+  i64 repair_fallbacks = 0;
 
   void note_send(i64 bytes) {
     ++messages_sent;
@@ -92,6 +99,8 @@ struct MessageStats {
     checkpoint_bytes += o.checkpoint_bytes;
     restored_segments += o.restored_segments;
     restored_bytes += o.restored_bytes;
+    schedule_repairs += o.schedule_repairs;
+    repair_fallbacks += o.repair_fallbacks;
     return *this;
   }
 };
